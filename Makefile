@@ -1,0 +1,38 @@
+# Reproduction of "On High-Bandwidth Data Cache Design for Multi-Issue
+# Processors" (MICRO-30, 1997). Stdlib-only Go; no network needed.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench tables figures ablations fuzz reproduce clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+tables:
+	$(GO) run ./cmd/lbictables -all
+
+ablations:
+	$(GO) run ./cmd/lbictables -ablations
+
+fuzz:
+	$(GO) test ./internal/asm/ -fuzz FuzzAssemble -fuzztime 30s
+
+reproduce:
+	./scripts/reproduce.sh
+
+clean:
+	$(GO) clean ./...

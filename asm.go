@@ -1,0 +1,19 @@
+package lbic
+
+import "lbic/internal/asm"
+
+// Assemble parses assembly text for the simulator's ISA and returns the
+// program. See the internal/asm package documentation for the syntax; the
+// short version:
+//
+//	.alloc buf 4096 64      # data, with 'buf' usable as an immediate symbol
+//	.word64 buf+8 42
+//	start:
+//	    li   r1, buf
+//	    ld   r2, 8(r1)
+//	    add  r2, r2, r2
+//	    sd   r2, 16(r1)
+//	    halt
+func Assemble(name, source string) (*Program, error) {
+	return asm.Assemble(name, source)
+}

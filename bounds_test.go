@@ -1,0 +1,82 @@
+package lbic_test
+
+import (
+	"testing"
+
+	"lbic"
+)
+
+// TestAnalyticPortBound validates every benchmark/port-count combination
+// against the closed-form port bound: committed instructions per cycle can
+// never exceed ports divided by the fraction of instructions that actually
+// consumed a port (loads that forwarded in the LSQ do not). This ties the
+// simulator to first principles — if arbitration ever over-granted, or
+// accounting ever dropped a request, some cell would break the bound.
+func TestAnalyticPortBound(t *testing.T) {
+	for _, bench := range lbic.BenchmarkNames() {
+		prog, err := lbic.BuildBenchmark(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{1, 2, 4} {
+			cfg := lbic.DefaultConfig()
+			cfg.Port = lbic.IdealPort(p)
+			cfg.MaxInsts = 60_000
+			res, err := lbic.Simulate(prog, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Port-consuming references per instruction.
+			portRefs := float64(res.CPU.PortGrants-res.CPU.PortBlocked) / float64(res.Insts)
+			if portRefs == 0 {
+				continue
+			}
+			bound := float64(p) / portRefs
+			if res.IPC > bound*1.001 {
+				t.Errorf("%s true-%d: IPC %.3f exceeds port bound %.3f (portRefs/inst %.3f)",
+					bench, p, res.IPC, bound, portRefs)
+			}
+		}
+	}
+}
+
+// TestAnalyticGrantConservation: every port grant is accounted for — it
+// either became a hierarchy access (hit/miss/blocked), and the hierarchy's
+// own accounting must balance.
+func TestAnalyticGrantConservation(t *testing.T) {
+	for _, bench := range []string{"compress", "li", "swim"} {
+		for _, port := range []lbic.PortConfig{
+			lbic.IdealPort(4), lbic.BankedPort(4), lbic.LBICPort(4, 2), lbic.ReplicatedPort(4),
+		} {
+			res := simulate(t, bench, port)
+			m := res.Mem
+			if m.Accesses != res.CPU.PortGrants {
+				t.Errorf("%s %s: hierarchy accesses %d != port grants %d",
+					bench, port.Name(), m.Accesses, res.CPU.PortGrants)
+			}
+			if m.Hits+m.MissesNew+m.MissesMerge+m.Blocked != m.Accesses {
+				t.Errorf("%s %s: hierarchy accounting unbalanced: %+v", bench, port.Name(), m)
+			}
+			// Committed memory operations = grants that completed plus
+			// forwarded loads (each non-blocked grant services one op).
+			completed := res.CPU.PortGrants - res.CPU.PortBlocked + res.CPU.Forwards
+			if completed != res.CPU.Loads+res.CPU.Stores {
+				t.Errorf("%s %s: completed memory ops %d != loads+stores %d",
+					bench, port.Name(), completed, res.CPU.Loads+res.CPU.Stores)
+			}
+		}
+	}
+}
+
+// TestAnalyticWidthBounds: IPC never exceeds any front-end width.
+func TestAnalyticWidthBounds(t *testing.T) {
+	for _, bench := range lbic.BenchmarkNames() {
+		res := simulate(t, bench, lbic.IdealPort(16))
+		if res.IPC > 64.001 {
+			t.Errorf("%s: IPC %.2f exceeds machine width", bench, res.IPC)
+		}
+		if res.CPU.Committed != res.CPU.Dispatched {
+			t.Errorf("%s: committed %d != dispatched %d", bench, res.CPU.Committed, res.CPU.Dispatched)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Command lbicsim runs one benchmark under one cache port organization and
+// prints the measured statistics:
+//
+//	lbicsim -bench compress -port ideal -width 4
+//	lbicsim -bench swim -port banked -banks 8
+//	lbicsim -bench mgrid -port lbic -banks 4 -lineports 2 -insts 2000000
+//	lbicsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lbic"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "compress", "benchmark kernel to run")
+		pattern   = flag.String("pattern", "", "run an access-pattern microbenchmark instead of -bench")
+		portKind  = flag.String("port", "ideal", "port organization: ideal | repl | banked | lbic")
+		width     = flag.Int("width", 1, "port count (ideal, repl)")
+		banks     = flag.Int("banks", 4, "bank count (banked, lbic)")
+		linePorts = flag.Int("lineports", 2, "per-bank line-buffer ports (lbic)")
+		insts     = flag.Uint64("insts", 1_000_000, "instructions to simulate")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		verbose   = flag.Bool("v", false, "print detailed CPU and memory statistics")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, in := range lbic.Benchmarks() {
+			fmt.Printf("%-9s (%s)  %s\n", in.Name, in.Suite, in.Description)
+		}
+		fmt.Println("\naccess-pattern microbenchmarks (-pattern):")
+		for _, p := range lbic.Patterns() {
+			fmt.Printf("%-16s %s\n", p.Name, p.Description)
+		}
+		return
+	}
+
+	var port lbic.PortConfig
+	switch strings.ToLower(*portKind) {
+	case "ideal", "true":
+		port = lbic.IdealPort(*width)
+	case "repl", "replicated":
+		port = lbic.ReplicatedPort(*width)
+	case "bank", "banked":
+		port = lbic.BankedPort(*banks)
+	case "lbic":
+		port = lbic.LBICPort(*banks, *linePorts)
+	default:
+		fatal(fmt.Errorf("unknown port organization %q", *portKind))
+	}
+
+	var prog *lbic.Program
+	var err error
+	if *pattern != "" {
+		prog, err = lbic.BuildPattern(*pattern)
+	} else {
+		prog, err = lbic.BuildBenchmark(*bench)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	cfg := lbic.DefaultConfig()
+	cfg.Port = port
+	cfg.MaxInsts = *insts
+	res, err := lbic.Simulate(prog, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("benchmark:   %s\n", res.Benchmark)
+	fmt.Printf("ports:       %s (peak %d accesses/cycle)\n", port.Name(), peak(port))
+	fmt.Printf("insts:       %d\n", res.Insts)
+	fmt.Printf("cycles:      %d\n", res.Cycles)
+	fmt.Printf("IPC:         %.3f\n", res.IPC)
+	fmt.Printf("loads:       %d (%d forwarded in the LSQ)\n", res.CPU.Loads, res.CPU.Forwards)
+	fmt.Printf("stores:      %d\n", res.CPU.Stores)
+	fmt.Printf("L1 miss:     %.4f (%d accesses)\n", res.Mem.MissRate(), res.Mem.Accesses)
+	if res.BankConflicts > 0 {
+		fmt.Printf("bank conflicts: %d\n", res.BankConflicts)
+	}
+	if res.LBIC != nil {
+		fmt.Printf("lbic: leading=%d combined=%d line-conflicts=%d drains=%d\n",
+			res.LBIC.Leading, res.LBIC.Combined, res.LBIC.LineConflicts, res.LBIC.StoreDrains)
+	}
+	if *verbose {
+		fmt.Printf("\ncpu: %+v\n", res.CPU)
+		fmt.Printf("mem: %+v\n", res.Mem)
+	}
+}
+
+func peak(p lbic.PortConfig) int {
+	switch p.Kind {
+	case lbic.Ideal, lbic.Replicated:
+		return p.Width
+	case lbic.Banked:
+		return p.Banks
+	case lbic.LBIC:
+		return p.Banks * p.LinePorts
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lbicsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Command lbictables regenerates the tables and figures of the paper's
+// evaluation section:
+//
+//	lbictables -table 2          # benchmark characteristics (vs paper)
+//	lbictables -table 3          # True/Repl/Bank IPC sweep
+//	lbictables -figure 3         # consecutive-reference bank mapping
+//	lbictables -table 4          # MxN LBIC IPC sweep
+//	lbictables -all              # everything
+//	lbictables -all -markdown    # Markdown output (for EXPERIMENTS.md)
+//	lbictables -all -insts 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lbic/internal/experiments"
+	"lbic/internal/stats"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "regenerate table 2, 3 or 4")
+		figure    = flag.Int("figure", 0, "regenerate figure 3")
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		ablations = flag.Bool("ablations", false, "run the design-choice ablation studies")
+		insts     = flag.Uint64("insts", experiments.DefaultInsts, "instructions simulated per run")
+		markdown  = flag.Bool("markdown", false, "emit Markdown tables")
+		jsonOut   = flag.Bool("json", false, "emit JSON tables")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if !*all && !*ablations && *table == 0 && *figure == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	progress := func(name string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "  %s...\n", name)
+		}
+	}
+	render := func(t *stats.Table) {
+		var err error
+		switch {
+		case *jsonOut:
+			err = t.JSON(os.Stdout)
+		case *markdown:
+			err = t.Markdown(os.Stdout)
+		default:
+			err = t.Render(os.Stdout)
+			fmt.Println()
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *all || *table == 2 {
+		note("Table 2")
+		rows, err := experiments.Table2(*insts)
+		if err != nil {
+			fatal(err)
+		}
+		render(experiments.Table2Table(rows))
+	}
+	if *all || *table == 3 {
+		note("Table 3 (130 simulations)")
+		d, err := experiments.Table3(*insts, progress)
+		if err != nil {
+			fatal(err)
+		}
+		render(experiments.Table3Table(d))
+	}
+	if *all || *figure == 3 {
+		note("Figure 3")
+		rows, err := experiments.Figure3(*insts)
+		if err != nil {
+			fatal(err)
+		}
+		render(experiments.Figure3Table(rows))
+	}
+	if *all || *table == 4 {
+		note("Table 4 (60 simulations)")
+		d, err := experiments.Table4(*insts, progress)
+		if err != nil {
+			fatal(err)
+		}
+		render(experiments.Table4Table(d))
+	}
+	if *ablations {
+		note("ablation studies")
+		budget := *insts
+		if budget > experiments.AblationInsts && *insts == experiments.DefaultInsts {
+			budget = experiments.AblationInsts
+		}
+		tables, err := experiments.Ablations(budget, progress)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			render(t)
+		}
+	}
+}
+
+func note(what string) {
+	fmt.Fprintf(os.Stderr, "generating %s...\n", what)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lbictables:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Command lbictrace prints a per-cycle pipeline occupancy timeline for a
+// benchmark under a port organization — the tool for seeing *why* a
+// configuration stalls:
+//
+//	lbictrace -bench swim -port banked -banks 4 -skip 2000 -cycles 40
+//	lbictrace -bench swim -port lbic -banks 4 -lineports 2 -skip 2000 -cycles 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lbic"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "compress", "benchmark kernel")
+		portKind  = flag.String("port", "ideal", "ideal | repl | banked | lbic")
+		width     = flag.Int("width", 1, "port count (ideal, repl)")
+		banks     = flag.Int("banks", 4, "bank count (banked, lbic)")
+		linePorts = flag.Int("lineports", 2, "line-buffer ports (lbic)")
+		insts     = flag.Uint64("insts", 50_000, "instruction budget")
+		skip      = flag.Uint64("skip", 1000, "cycles to fast-forward before printing")
+		cycles    = flag.Uint64("cycles", 50, "cycles to print (0 = all)")
+		every     = flag.Uint64("every", 1, "print one line per N cycles")
+	)
+	flag.Parse()
+
+	var port lbic.PortConfig
+	switch strings.ToLower(*portKind) {
+	case "ideal", "true":
+		port = lbic.IdealPort(*width)
+	case "repl", "replicated":
+		port = lbic.ReplicatedPort(*width)
+	case "bank", "banked":
+		port = lbic.BankedPort(*banks)
+	case "lbic":
+		port = lbic.LBICPort(*banks, *linePorts)
+	default:
+		fatal(fmt.Errorf("unknown port organization %q", *portKind))
+	}
+
+	prog, err := lbic.BuildBenchmark(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := lbic.DefaultConfig()
+	cfg.Port = port
+	cfg.MaxInsts = *insts
+	fmt.Printf("%s on %s\n\n", *bench, port.Name())
+	if _, err := lbic.TraceSimulation(prog, cfg, os.Stdout, lbic.TraceOptions{
+		SkipCycles: *skip,
+		MaxCycles:  *cycles,
+		Every:      *every,
+	}); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lbictrace:", err)
+	os.Exit(1)
+}

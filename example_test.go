@@ -1,0 +1,93 @@
+package lbic_test
+
+import (
+	"fmt"
+	"log"
+
+	"lbic"
+)
+
+// ExampleScenarioCycles replays the paper's Figure 4c analysis: four ready
+// references drain in 3, 2 and 1 cycles on the three organizations.
+func ExampleScenarioCycles() {
+	refs := []lbic.Ref{
+		{Addr: 12*64 + 0, Store: true}, // bank 0, line 12
+		{Addr: 10*64 + 32 + 4},         // bank 1, line 10
+		{Addr: 10*64 + 32 + 8},         // bank 1, line 10
+		{Addr: 12*64 + 12, Store: true},
+	}
+	for _, port := range []lbic.PortConfig{
+		lbic.ReplicatedPort(2),
+		lbic.BankedPort(2),
+		lbic.LBICPort(2, 2),
+	} {
+		cycles, err := lbic.ScenarioCycles(port, refs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d\n", port.Name(), cycles)
+	}
+	// Output:
+	// repl-2: 3
+	// bank-2: 2
+	// lbic-2x2: 1
+}
+
+// ExampleAssemble builds a program from assembly text and runs it
+// functionally.
+func ExampleAssemble() {
+	prog, err := lbic.Assemble("sum", `
+		.alloc data 32 8
+		.word64 data 40
+		.word64 data+8 2
+		li r1, data
+		ld r2, 0(r1)
+		ld r3, 8(r1)
+		add r4, r2, r3
+		sd r4, 16(r1)
+		halt
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := lbic.Characterize(prog, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d instructions, %d loads, %d stores\n", stats.Insts, stats.Loads, stats.Stores)
+	// Output:
+	// 6 instructions, 2 loads, 1 stores
+}
+
+// ExamplePortConfig_Name shows the identifiers used throughout the tables.
+func ExamplePortConfig_Name() {
+	fmt.Println(lbic.IdealPort(4).Name())
+	fmt.Println(lbic.ReplicatedPort(2).Name())
+	fmt.Println(lbic.BankedPort(8).Name())
+	fmt.Println(lbic.LBICPort(4, 2).Name())
+	fmt.Println(lbic.VirtualPort(2).Name())
+	// Output:
+	// true-4
+	// repl-2
+	// bank-8
+	// lbic-4x2
+	// virt-2
+}
+
+// ExampleBenchmarkNames lists the ten SPEC95 stand-ins.
+func ExampleBenchmarkNames() {
+	for _, name := range lbic.BenchmarkNames() {
+		fmt.Println(name)
+	}
+	// Output:
+	// compress
+	// gcc
+	// go
+	// li
+	// perl
+	// hydro2d
+	// mgrid
+	// su2cor
+	// swim
+	// wave5
+}

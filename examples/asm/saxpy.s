@@ -1,0 +1,28 @@
+# saxpy.s — y[i] = a*x[i] + y[i] over 64K doubles, unit stride.
+# Demonstrates the lbicasm toolchain; the x and y arrays are placed a
+# multiple of 256 bytes apart so they collide in the same bank of a
+# line-interleaved cache (a swim-style B-diff-line stream).
+
+.at x 0x100000 524288
+.at y 0x200D00 524288
+.alloc c 8 8
+.float c 2.0
+
+    li  r1, 0          # byte offset
+    li  r2, 524288     # end
+    li  r3, x
+    li  r4, y
+    li  r5, c
+    fld f1, 0(r5)      # a
+
+loop:
+    add  r6, r3, r1
+    fld  f2, 0(r6)     # x[i]
+    add  r7, r4, r1
+    fld  f3, 0(r7)     # y[i]
+    fmul f2, f2, f1
+    fadd f3, f3, f2
+    fsd  f3, 0(r7)     # y[i] updated
+    addi r1, r1, 8
+    blt  r1, r2, loop
+    halt

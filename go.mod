@@ -1,0 +1,3 @@
+module lbic
+
+go 1.22

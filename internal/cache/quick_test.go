@@ -1,0 +1,151 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Hierarchy property tests: drive random access sequences through the timed
+// hierarchy and check global invariants.
+
+type hierOp struct {
+	addr  uint64
+	write bool
+	gap   uint8 // idle cycles before this access
+}
+
+func genOps(addrs []uint32, writes []bool, gaps []uint8) []hierOp {
+	n := len(addrs)
+	ops := make([]hierOp, 0, n)
+	for i := 0; i < n; i++ {
+		op := hierOp{addr: 0x10000 + uint64(addrs[i])%(1<<22)}
+		if i < len(writes) {
+			op.write = writes[i]
+		}
+		if i < len(gaps) {
+			op.gap = gaps[i] % 4
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// Every access eventually yields exactly one completion (hit or via fill),
+// unless it was Blocked; and accounting identities hold throughout.
+func TestHierarchyCompletionConservationQuick(t *testing.T) {
+	f := func(addrs []uint32, writes []bool, gaps []uint8) bool {
+		h, err := NewHierarchy(DefaultParams())
+		if err != nil {
+			return false
+		}
+		ops := genOps(addrs, writes, gaps)
+		now := uint64(0)
+		issued := 0
+		completions := 0
+		token := int64(0)
+		for _, op := range ops {
+			for g := uint8(0); g <= op.gap; g++ {
+				h.Advance(now)
+				completions += len(h.Drain())
+				now++
+			}
+			// Access within the last advanced cycle.
+			switch h.Access(now-1, op.addr, op.write, token) {
+			case Blocked:
+			default:
+				issued++
+			}
+			token++
+		}
+		// Drain everything outstanding.
+		for i := 0; i < 64; i++ {
+			h.Advance(now)
+			completions += len(h.Drain())
+			now++
+		}
+		if completions != issued {
+			return false
+		}
+		s := h.Stats()
+		if s.Hits+s.MissesNew+s.MissesMerge+s.Blocked != s.Accesses {
+			return false
+		}
+		if h.OutstandingMisses() != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The L1 never exceeds its capacity and the fill count matches the demand
+// misses that were not blocked.
+func TestHierarchyFillAccountingQuick(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		h, err := NewHierarchy(DefaultParams())
+		if err != nil {
+			return false
+		}
+		now := uint64(0)
+		for i, raw := range addrs {
+			h.Advance(now)
+			h.Drain()
+			h.Access(now, 0x10000+uint64(raw)%(1<<24), i%3 == 0, int64(i))
+			now++
+		}
+		for i := 0; i < 64; i++ {
+			h.Advance(now)
+			h.Drain()
+			now++
+		}
+		s := h.Stats()
+		if s.Fills != s.MissesNew {
+			return false
+		}
+		capacity := DefaultParams().L1.Size / DefaultParams().L1.LineSize
+		return h.L1().Lines() <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Repeating the same address stream twice costs the same or fewer misses the
+// second time (the cache only gets warmer; with a bounded stream inside
+// capacity it must be strictly warmer).
+func TestHierarchyWarmupQuick(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		if len(addrs) == 0 {
+			return true
+		}
+		h, err := NewHierarchy(DefaultParams())
+		if err != nil {
+			return false
+		}
+		now := uint64(0)
+		pass := func() uint64 {
+			before := h.Stats().MissesNew + h.Stats().MissesMerge
+			for i, raw := range addrs {
+				h.Advance(now)
+				h.Drain()
+				// Confine to 16KB so both passes fit in the 32KB L1.
+				h.Access(now, 0x10000+uint64(raw)%(16<<10), i%4 == 0, int64(i))
+				now++
+			}
+			for i := 0; i < 64; i++ {
+				h.Advance(now)
+				h.Drain()
+				now++
+			}
+			return h.Stats().MissesNew + h.Stats().MissesMerge - before
+		}
+		first := pass()
+		second := pass()
+		return second <= first
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

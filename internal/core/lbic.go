@@ -1,0 +1,289 @@
+// Package core implements the paper's contribution: the Locality-Based
+// Interleaved Cache (LBIC, §5). An MxN LBIC is a traditional M-bank
+// line-interleaved cache in which each bank carries a single N-ported line
+// buffer and a small store queue. Each cycle the oldest ready request per
+// bank (the "leading" request) gates its line into that bank's line buffer,
+// and up to N-1 further ready requests to the same line combine with it:
+// loads read their offsets from the buffer, stores deposit into the bank's
+// store queue, which retires to the array on idle bank cycles. Requests to a
+// busy bank's other lines conflict and wait, exactly as in a traditional
+// multi-bank cache — the LBIC's gain is that same-line bank conflicts, which
+// §4 shows dominate, become combined accesses instead.
+package core
+
+import (
+	"fmt"
+
+	"lbic/internal/ports"
+)
+
+// DefaultStoreQueueDepth is the per-bank store queue capacity used when a
+// Config leaves it zero; the PA8000-style store queue the paper cites holds
+// "up to some number of words", and eight matches its line of 32 bytes.
+const DefaultStoreQueueDepth = 8
+
+// Policy selects how each bank chooses the line it opens in a cycle.
+type Policy int
+
+const (
+	// PolicyLeading opens the line of the oldest ready request per bank —
+	// "fair and simple", the policy the paper evaluates (§5.2).
+	PolicyLeading Policy = iota
+	// PolicyGreedy opens the line with the most combinable ready requests,
+	// the enhancement §5.2 proposes ("larger access groups can be given
+	// priority over smaller groups... the smaller groups may grow larger by
+	// the time they are selected"). To bound the starvation this invites,
+	// every greedyRotate-th cycle reverts to the leading request.
+	PolicyGreedy
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyLeading:
+		return "leading"
+	case PolicyGreedy:
+		return "greedy"
+	default:
+		return "policy(?)"
+	}
+}
+
+// greedyRotate is the anti-starvation period of PolicyGreedy: one cycle in
+// this many uses the leading request regardless of group sizes.
+const greedyRotate = 8
+
+// Config describes an MxN LBIC.
+type Config struct {
+	// Banks is M, the number of single-ported, line-interleaved banks.
+	Banks int
+	// LinePorts is N, the number of ports on each bank's line buffer — the
+	// maximum accesses to one line of one bank per cycle.
+	LinePorts int
+	// LineSize is the cache line size in bytes (bank selection granularity).
+	LineSize int
+	// StoreQueueDepth is the per-bank store queue capacity; 0 selects
+	// DefaultStoreQueueDepth.
+	StoreQueueDepth int
+	// Policy is the per-bank line selection policy; the zero value is the
+	// paper's leading-request policy.
+	Policy Policy
+}
+
+// Stats counts LBIC-specific events.
+type Stats struct {
+	// Leading counts leading requests granted (one per active bank-cycle).
+	Leading uint64
+	// Combined counts requests granted by combining with a leading request.
+	Combined uint64
+	// LineConflicts counts requests stalled because their bank was open on a
+	// different line.
+	LineConflicts uint64
+	// PortSaturation counts requests stalled because their line already had
+	// N grants this cycle.
+	PortSaturation uint64
+	// StoreQueueStalls counts combining stores stalled on a full store queue.
+	StoreQueueStalls uint64
+	// StoreDrains counts store-queue entries retired on idle bank cycles.
+	StoreDrains uint64
+	// DirectStores counts leading stores that wrote the array directly
+	// because their bank's store queue was full — the degenerate case in
+	// which the LBIC behaves exactly like a traditional banked cache.
+	DirectStores uint64
+	// GreedyOverrides counts bank-cycles where PolicyGreedy opened a line
+	// other than the oldest ready request's.
+	GreedyOverrides uint64
+}
+
+// LBIC is the MxN arbiter. It implements ports.Arbiter.
+type LBIC struct {
+	cfg Config
+	sel ports.BankSelector
+
+	// storeQ holds, per bank, the FIFO of cache lines with queued store
+	// data. Stores to a line already queued coalesce into its entry (the
+	// store queue is a write-combining buffer, as in the PA8000 design the
+	// paper cites); draining retires one line per idle bank cycle.
+	storeQ [][]uint64
+
+	// Per-cycle scratch, reset in Grant.
+	leadSet []bool
+	blocked []bool
+	line    []uint64
+	count   []int
+	// chosen holds, under PolicyGreedy, the line each bank opens this cycle
+	// (valid where chosenSet is true); greedyN is its group size.
+	chosen    []uint64
+	chosenSet []bool
+	greedyN   []int
+
+	stats Stats
+}
+
+// New returns an MxN LBIC arbiter.
+func New(cfg Config) (*LBIC, error) {
+	if cfg.StoreQueueDepth == 0 {
+		cfg.StoreQueueDepth = DefaultStoreQueueDepth
+	}
+	if cfg.LinePorts < 1 {
+		return nil, fmt.Errorf("core: LBIC line ports %d is not positive", cfg.LinePorts)
+	}
+	if cfg.StoreQueueDepth < 1 {
+		return nil, fmt.Errorf("core: LBIC store queue depth %d is not positive", cfg.StoreQueueDepth)
+	}
+	sel, err := ports.NewBankSelector(cfg.Banks, cfg.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	return &LBIC{
+		cfg:       cfg,
+		sel:       sel,
+		storeQ:    make([][]uint64, cfg.Banks),
+		leadSet:   make([]bool, cfg.Banks),
+		blocked:   make([]bool, cfg.Banks),
+		line:      make([]uint64, cfg.Banks),
+		count:     make([]int, cfg.Banks),
+		chosen:    make([]uint64, cfg.Banks),
+		chosenSet: make([]bool, cfg.Banks),
+		greedyN:   make([]int, cfg.Banks),
+	}, nil
+}
+
+// Name implements ports.Arbiter, e.g. "lbic-4x2" or "lbic-4x2-greedy".
+func (a *LBIC) Name() string {
+	if a.cfg.Policy == PolicyGreedy {
+		return fmt.Sprintf("lbic-%dx%d-greedy", a.cfg.Banks, a.cfg.LinePorts)
+	}
+	return fmt.Sprintf("lbic-%dx%d", a.cfg.Banks, a.cfg.LinePorts)
+}
+
+// PeakWidth implements ports.Arbiter: M banks times N line ports.
+func (a *LBIC) PeakWidth() int { return a.cfg.Banks * a.cfg.LinePorts }
+
+// Config returns the configuration (with defaults applied).
+func (a *LBIC) Config() Config { return a.cfg }
+
+// Selector returns the bank selection function.
+func (a *LBIC) Selector() ports.BankSelector { return a.sel }
+
+// Stats returns a snapshot of the counters.
+func (a *LBIC) Stats() Stats { return a.stats }
+
+// StoreQueueLen returns the lines queued in bank b's store queue.
+func (a *LBIC) StoreQueueLen(b int) int { return len(a.storeQ[b]) }
+
+// chooseGreedy implements PolicyGreedy's selection pass: per bank, the line
+// with the most combinable ready requests (group sizes cap at LinePorts, so
+// excess beyond the buffer's ports confers no priority); ties keep the
+// oldest request's line.
+func (a *LBIC) chooseGreedy(ready []ports.Request) {
+	for i := range ready {
+		b := a.sel.BankOf(ready[i].Addr)
+		line := a.sel.LineOf(ready[i].Addr)
+		first := true
+		for j := 0; j < i; j++ {
+			if a.sel.BankOf(ready[j].Addr) == b && a.sel.LineOf(ready[j].Addr) == line {
+				first = false
+				break
+			}
+		}
+		if !first {
+			continue
+		}
+		n := 1
+		for j := i + 1; j < len(ready) && n < a.cfg.LinePorts; j++ {
+			if a.sel.BankOf(ready[j].Addr) == b && a.sel.LineOf(ready[j].Addr) == line {
+				n++
+			}
+		}
+		switch {
+		case !a.chosenSet[b]:
+			a.chosen[b], a.chosenSet[b], a.greedyN[b] = line, true, n
+		case n > a.greedyN[b]:
+			a.chosen[b], a.greedyN[b] = line, n
+			a.stats.GreedyOverrides++
+		}
+	}
+}
+
+// enqueueStore records a granted store's line in bank b's queue; a store to
+// an already-queued line coalesces for free. It reports whether the store
+// was accepted.
+func (a *LBIC) enqueueStore(b int, line uint64) bool {
+	for _, l := range a.storeQ[b] {
+		if l == line {
+			return true
+		}
+	}
+	if len(a.storeQ[b]) >= a.cfg.StoreQueueDepth {
+		return false
+	}
+	a.storeQ[b] = append(a.storeQ[b], line)
+	return true
+}
+
+// Grant implements ports.Arbiter. Scanning oldest-first: the first request
+// to touch a bank leads it and gates its line; subsequent requests combine
+// while they match the gated line and ports remain; mismatching lines
+// conflict. Stores additionally need a store-queue slot. Idle banks drain
+// one store-queue entry.
+func (a *LBIC) Grant(now uint64, ready []ports.Request, dst []int) []int {
+	for b := 0; b < a.cfg.Banks; b++ {
+		a.leadSet[b] = false
+		a.blocked[b] = false
+		a.count[b] = 0
+		a.chosenSet[b] = false
+	}
+	if a.cfg.Policy == PolicyGreedy && now%greedyRotate != 0 {
+		a.chooseGreedy(ready)
+	}
+	for i := range ready {
+		r := &ready[i]
+		b := a.sel.BankOf(r.Addr)
+		if a.blocked[b] {
+			continue
+		}
+		line := a.sel.LineOf(r.Addr)
+		if a.chosenSet[b] && !a.leadSet[b] && line != a.chosen[b] {
+			// Greedy policy reserved this bank for a larger group; requests
+			// to other lines wait even if older.
+			a.stats.LineConflicts++
+			continue
+		}
+		switch {
+		case !a.leadSet[b]:
+			a.leadSet[b] = true
+			a.line[b] = line
+			a.count[b] = 1
+			a.stats.Leading++
+			if r.Store && !a.enqueueStore(b, line) {
+				// Queue full: the leading store writes the array directly,
+				// exactly as in a traditional banked cache, and closes the
+				// bank's line ports for this cycle (the single array port
+				// is busy with the write).
+				a.stats.DirectStores++
+				a.blocked[b] = true
+			}
+			dst = append(dst, i)
+		case a.line[b] != line:
+			a.stats.LineConflicts++
+		case a.count[b] >= a.cfg.LinePorts:
+			a.stats.PortSaturation++
+		case r.Store && !a.enqueueStore(b, line):
+			a.stats.StoreQueueStalls++
+		default:
+			a.count[b]++
+			a.stats.Combined++
+			dst = append(dst, i)
+		}
+	}
+	// Store queues use idle cycles to perform their writes (§5.2): one
+	// queued line retires per idle bank cycle.
+	for b := 0; b < a.cfg.Banks; b++ {
+		if a.count[b] == 0 && len(a.storeQ[b]) > 0 {
+			a.storeQ[b] = a.storeQ[b][1:]
+			a.stats.StoreDrains++
+		}
+	}
+	return dst
+}

@@ -1,0 +1,832 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lbic/internal/cache"
+	"lbic/internal/isa"
+	"lbic/internal/ports"
+	"lbic/internal/trace"
+)
+
+// entry state machine. Memory operations follow:
+//
+//	load:  waiting → ready → issued(AGU) → [order-parked | fwd-parked |
+//	       mem-pending → mem-wait] → done
+//	store: waiting → ready → issued(AGU) → wait-data → done → (commit:
+//	       store buffer) → written
+type state uint8
+
+const (
+	stEmpty state = iota
+	stWaiting
+	stReady
+	stIssued
+	stOrderParked // load: an older store's address is unknown
+	stFwdParked   // load: waiting on a matching, unready store
+	stMemPending  // load: competing for a cache port
+	stMemWait     // load: cache access in flight
+	stWaitData    // store: address generated, data operand pending
+	stDone
+)
+
+const (
+	evExec    = iota // functional unit completes; result ready
+	evAGU            // load/store address generation completes
+	evMem            // cache completes a load
+	evWrite          // cache completes a committed store's write
+	wheelSize = 64   // must exceed every FU and hit latency
+)
+
+type event struct {
+	kind int32
+	idx  int32 // RUU index (evExec/evAGU/evMem) or store buffer slot (evWrite)
+}
+
+type entry struct {
+	dyn       trace.Dyn
+	state     state
+	src1Ready bool
+	src2Ready bool
+	addrDone  bool
+	deps      []int32 // packed dependent links: ruuIdx<<2 | operand
+}
+
+// fwdRef tracks an in-flight store for store-to-load forwarding, keyed in a
+// granule map by 8-byte-aligned address granules the store touches.
+type fwdRef struct {
+	seq  uint64
+	addr uint64
+	size uint8
+	ruu  int32 // RUU index pre-commit, -1 once the store is committed
+}
+
+type storeBufEntry struct {
+	seq     uint64
+	addr    uint64
+	size    uint8
+	live    bool
+	granted bool
+}
+
+type orderRef struct {
+	seq uint64
+	idx int32
+}
+
+// Core simulates one program run cycle by cycle.
+type Core struct {
+	cfg    Config
+	stream trace.Stream
+	hier   *cache.Hierarchy
+	arb    ports.Arbiter
+
+	now   uint64
+	stats Stats
+
+	// RUU ring.
+	entries []entry
+	head    int
+	count   int
+	nextSeq uint64
+
+	// One-instruction lookahead into the stream.
+	peeked    bool
+	peekDyn   trace.Dyn
+	streamEOF bool
+
+	lastWriter [isa.NumRegs]int32 // RUU index producing each register, -1 if none
+
+	readyQ readyHeap
+
+	wheel [wheelSize][]event
+
+	// LSQ-derived structures.
+	lsqCount    int
+	storeOrder  []orderRef         // dispatched stores, FIFO; front popped when address known
+	orderParked []int32            // loads blocked on unknown older store addresses
+	fwdWaiters  map[uint64][]int32 // store seq → loads parked on it
+	fwdMap      map[uint64][]fwdRef
+	memPending  []int32 // loads ready for a port, ascending seq
+
+	// Committed store buffer (FIFO ring over slots).
+	storeBuf  []storeBufEntry
+	sbHead    int
+	sbCount   int
+	storeLive int // live (incl. granted, unwritten) stores
+
+	// Per-cycle FU accounting.
+	fuUsed [isa.NumClasses]int      // pipelined issues this cycle
+	fuBusy [isa.NumClasses][]uint64 // release times for unpipelined units
+
+	reqBuf   []ports.Request
+	reqIdx   []int32 // parallel: RUU index (loads) or -(slot+1) (stores)
+	grantBuf []int
+}
+
+// New prepares a run of stream against the given memory hierarchy and port
+// arbiter.
+func New(stream trace.Stream, hier *cache.Hierarchy, arb ports.Arbiter, cfg Config) (*Core, error) {
+	if stream == nil {
+		return nil, fmt.Errorf("cpu: nil instruction stream")
+	}
+	if hier == nil {
+		return nil, fmt.Errorf("cpu: nil memory hierarchy")
+	}
+	if arb == nil {
+		return nil, fmt.Errorf("cpu: nil port arbiter")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if hier.Params().HitLat >= wheelSize {
+		return nil, fmt.Errorf("cpu: hit latency %d exceeds event wheel %d", hier.Params().HitLat, wheelSize)
+	}
+	c := &Core{
+		cfg:        cfg,
+		stream:     stream,
+		hier:       hier,
+		arb:        arb,
+		entries:    make([]entry, cfg.RUUSize),
+		fwdWaiters: make(map[uint64][]int32),
+		fwdMap:     make(map[uint64][]fwdRef),
+		storeBuf:   make([]storeBufEntry, cfg.StoreBufferSize),
+	}
+	for r := range c.lastWriter {
+		c.lastWriter[r] = -1
+	}
+	c.readyQ.core = c
+	return c, nil
+}
+
+// Stats returns a snapshot of the run statistics.
+func (c *Core) Stats() Stats {
+	s := c.stats
+	s.Cycles = c.now
+	return s
+}
+
+// Now returns the current cycle.
+func (c *Core) Now() uint64 { return c.now }
+
+// Done reports whether the run has fully drained.
+func (c *Core) Done() bool {
+	return c.fetchExhausted() && c.count == 0 && c.storeLive == 0
+}
+
+func (c *Core) fetchExhausted() bool {
+	if c.cfg.MaxInsts > 0 && c.stats.Dispatched >= c.cfg.MaxInsts {
+		return true
+	}
+	return c.streamEOF && !c.peeked
+}
+
+// Run steps the core until completion and returns the statistics.
+func (c *Core) Run() (Stats, error) {
+	for !c.Done() {
+		if err := c.Step(); err != nil {
+			return c.Stats(), err
+		}
+	}
+	return c.Stats(), nil
+}
+
+// Step advances the simulation by one cycle.
+func (c *Core) Step() error {
+	if c.cfg.MaxCycles > 0 && c.now >= c.cfg.MaxCycles {
+		return fmt.Errorf("cpu: exceeded %d cycles (committed %d of %d dispatched; RUU %d, head state %d)",
+			c.cfg.MaxCycles, c.stats.Committed, c.stats.Dispatched, c.count, c.entries[c.head].state)
+	}
+	c.hier.Advance(c.now)
+	c.processEvents()
+	c.releaseOrderParked()
+	c.commit()
+	c.memoryIssue()
+	c.issue()
+	c.dispatch()
+	c.drainCompletions()
+	c.now++
+	return nil
+}
+
+// --- events and wakeup ---
+
+func (c *Core) schedule(at uint64, ev event) {
+	if at <= c.now {
+		at = c.now + 1
+	}
+	if at-c.now >= wheelSize {
+		panic(fmt.Sprintf("cpu: event latency %d exceeds wheel", at-c.now))
+	}
+	slot := at % wheelSize
+	c.wheel[slot] = append(c.wheel[slot], ev)
+}
+
+func (c *Core) processEvents() {
+	slot := c.now % wheelSize
+	evs := c.wheel[slot]
+	c.wheel[slot] = evs[:0]
+	// The slice is reused immediately; iterate over a stable copy by index,
+	// but new events always target future slots, so in-place iteration is
+	// safe as long as we re-read length (appends to this slot are imposs.).
+	for i := 0; i < len(evs); i++ {
+		ev := evs[i]
+		switch ev.kind {
+		case evExec:
+			c.complete(ev.idx)
+		case evAGU:
+			c.addrGenerated(ev.idx)
+		case evMem:
+			c.complete(ev.idx)
+		case evWrite:
+			c.storeWritten(int(ev.idx))
+		}
+	}
+}
+
+// complete marks an instruction's result ready and wakes dependents.
+func (c *Core) complete(idx int32) {
+	e := &c.entries[idx]
+	e.state = stDone
+	deps := e.deps
+	e.deps = e.deps[:0]
+	for _, d := range deps {
+		c.wake(d>>2, int(d&3))
+	}
+}
+
+func (c *Core) wake(idx int32, operand int) {
+	e := &c.entries[idx]
+	if operand == 1 {
+		e.src1Ready = true
+	} else {
+		e.src2Ready = true
+	}
+	switch {
+	case e.dyn.IsStore():
+		if operand == 1 && e.state == stWaiting {
+			c.pushReady(idx)
+		} else if operand == 2 && e.state == stWaitData {
+			c.storeDone(idx)
+		}
+	case e.state == stWaiting && e.src1Ready && e.src2Ready:
+		c.pushReady(idx)
+	}
+}
+
+func (c *Core) pushReady(idx int32) {
+	c.entries[idx].state = stReady
+	c.readyQ.push(idx)
+}
+
+// --- stores: address generation, completion, forwarding bookkeeping ---
+
+// addrGenerated handles AGU completion for loads and stores.
+func (c *Core) addrGenerated(idx int32) {
+	e := &c.entries[idx]
+	e.addrDone = true
+	if e.dyn.IsStore() {
+		c.registerForward(e.dyn.Seq, e.dyn.Addr, e.dyn.Size, idx)
+		if e.src2Ready {
+			c.storeDone(idx)
+		} else {
+			e.state = stWaitData
+		}
+		return
+	}
+	c.routeLoad(idx)
+}
+
+// storeDone marks a store complete (address and data ready): it becomes
+// committable and can now satisfy forwarding loads parked on it.
+func (c *Core) storeDone(idx int32) {
+	e := &c.entries[idx]
+	e.state = stDone
+	c.recheckFwdWaiters(e.dyn.Seq)
+}
+
+func granules(addr uint64, size uint8) (uint64, uint64) {
+	return addr >> 3, (addr + uint64(size) - 1) >> 3
+}
+
+func (c *Core) registerForward(seq, addr uint64, size uint8, ruu int32) {
+	g0, g1 := granules(addr, size)
+	ref := fwdRef{seq: seq, addr: addr, size: size, ruu: ruu}
+	c.fwdMap[g0] = append(c.fwdMap[g0], ref)
+	if g1 != g0 {
+		c.fwdMap[g1] = append(c.fwdMap[g1], ref)
+	}
+}
+
+func (c *Core) dropForward(seq, addr uint64, size uint8) {
+	g0, g1 := granules(addr, size)
+	c.dropForwardGranule(g0, seq)
+	if g1 != g0 {
+		c.dropForwardGranule(g1, seq)
+	}
+}
+
+func (c *Core) dropForwardGranule(g, seq uint64) {
+	refs := c.fwdMap[g]
+	for i := range refs {
+		if refs[i].seq == seq {
+			refs[i] = refs[len(refs)-1]
+			refs = refs[:len(refs)-1]
+			break
+		}
+	}
+	if len(refs) == 0 {
+		delete(c.fwdMap, g)
+	} else {
+		c.fwdMap[g] = refs
+	}
+}
+
+// commitForward re-tags a store's forwarding refs as committed (always data
+// ready, no RUU entry).
+func (c *Core) commitForward(seq, addr uint64, size uint8) {
+	g0, g1 := granules(addr, size)
+	c.commitForwardGranule(g0, seq)
+	if g1 != g0 {
+		c.commitForwardGranule(g1, seq)
+	}
+}
+
+func (c *Core) commitForwardGranule(g, seq uint64) {
+	refs := c.fwdMap[g]
+	for i := range refs {
+		if refs[i].seq == seq {
+			refs[i].ruu = -1
+		}
+	}
+}
+
+func (c *Core) recheckFwdWaiters(storeSeq uint64) {
+	waiters := c.fwdWaiters[storeSeq]
+	if len(waiters) == 0 {
+		return
+	}
+	delete(c.fwdWaiters, storeSeq)
+	for _, idx := range waiters {
+		c.routeLoad(idx)
+	}
+}
+
+// --- loads: ordering, forwarding, port scheduling ---
+
+// minUnknownStoreSeq returns the sequence number of the oldest store whose
+// address is not yet generated, or MaxUint64 if all are known.
+func (c *Core) minUnknownStoreSeq() uint64 {
+	for len(c.storeOrder) > 0 {
+		ref := c.storeOrder[0]
+		e := &c.entries[ref.idx]
+		if e.dyn.Seq == ref.seq && !e.addrDone {
+			return ref.seq
+		}
+		c.storeOrder = c.storeOrder[1:]
+	}
+	return math.MaxUint64
+}
+
+// routeLoad decides what happens to a load whose address is generated:
+// park on ordering, forward, park on a store, or queue for a cache port.
+func (c *Core) routeLoad(idx int32) {
+	e := &c.entries[idx]
+	if c.minUnknownStoreSeq() < e.dyn.Seq {
+		e.state = stOrderParked
+		c.orderParked = append(c.orderParked, idx)
+		c.stats.OrderingStalls++
+		return
+	}
+	switch blockSeq, disp := c.tryForward(idx); disp {
+	case fwdServiced:
+		c.stats.Forwards++
+		c.schedule(c.now+1, event{kind: evMem, idx: idx})
+		e.state = stMemWait
+		return
+	case fwdBlocked:
+		e.state = stFwdParked
+		c.fwdWaiters[blockSeq] = append(c.fwdWaiters[blockSeq], idx)
+		c.stats.ForwardWaits++
+		return
+	}
+	e.state = stMemPending
+	c.insertMemPending(idx)
+}
+
+// fwdDisposition is the result of a forwarding lookup.
+type fwdDisposition uint8
+
+const (
+	// fwdNone: no overlapping older store; the load goes to the cache.
+	fwdNone fwdDisposition = iota
+	// fwdServiced: a ready covering store services the load at zero latency.
+	fwdServiced
+	// fwdBlocked: the load must wait on the returned store sequence number
+	// (unready data, or a partial overlap that cannot forward).
+	fwdBlocked
+)
+
+// tryForward finds the youngest older store overlapping the load and decides
+// the load's disposition.
+func (c *Core) tryForward(idx int32) (uint64, fwdDisposition) {
+	e := &c.entries[idx]
+	addr, size, seq := e.dyn.Addr, e.dyn.Size, e.dyn.Seq
+	g0, g1 := granules(addr, size)
+	best := fwdRef{}
+	found := false
+	scan := func(g uint64) {
+		for _, ref := range c.fwdMap[g] {
+			if ref.seq >= seq {
+				continue
+			}
+			if ref.addr >= addr+uint64(size) || addr >= ref.addr+uint64(ref.size) {
+				continue // no overlap
+			}
+			if !found || ref.seq > best.seq {
+				best, found = ref, true
+			}
+		}
+	}
+	scan(g0)
+	if g1 != g0 {
+		scan(g1)
+	}
+	if !found {
+		return 0, fwdNone
+	}
+	covers := best.addr <= addr && best.addr+uint64(best.size) >= addr+uint64(size)
+	ready := best.ruu < 0 || c.entries[best.ruu].state == stDone
+	if covers && ready {
+		return 0, fwdServiced
+	}
+	// Partial overlap, or the matching store's data is not ready: wait on it.
+	return best.seq, fwdBlocked
+}
+
+func (c *Core) insertMemPending(idx int32) {
+	seq := c.entries[idx].dyn.Seq
+	i := sort.Search(len(c.memPending), func(i int) bool {
+		return c.entries[c.memPending[i]].dyn.Seq > seq
+	})
+	c.memPending = append(c.memPending, 0)
+	copy(c.memPending[i+1:], c.memPending[i:])
+	c.memPending[i] = idx
+}
+
+func (c *Core) removeMemPending(idx int32) {
+	seq := c.entries[idx].dyn.Seq
+	i := sort.Search(len(c.memPending), func(i int) bool {
+		return c.entries[c.memPending[i]].dyn.Seq >= seq
+	})
+	if i < len(c.memPending) && c.memPending[i] == idx {
+		c.memPending = append(c.memPending[:i], c.memPending[i+1:]...)
+	}
+}
+
+// releaseOrderParked re-routes loads whose ordering barrier has cleared.
+func (c *Core) releaseOrderParked() {
+	if len(c.orderParked) == 0 {
+		return
+	}
+	min := c.minUnknownStoreSeq()
+	kept := c.orderParked[:0]
+	var release []int32
+	for _, idx := range c.orderParked {
+		if c.entries[idx].dyn.Seq < min {
+			release = append(release, idx)
+		} else {
+			kept = append(kept, idx)
+		}
+	}
+	c.orderParked = kept
+	for _, idx := range release {
+		c.routeLoad(idx)
+	}
+}
+
+// --- commit ---
+
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.CommitWidth && c.count > 0; n++ {
+		idx := int32(c.head)
+		e := &c.entries[idx]
+		if e.state != stDone {
+			return
+		}
+		if e.dyn.IsStore() {
+			if c.sbCount == c.cfg.StoreBufferSize {
+				c.stats.CommitStallStoreBuf++
+				return
+			}
+			slot := (c.sbHead + c.sbCount) % c.cfg.StoreBufferSize
+			c.storeBuf[slot] = storeBufEntry{seq: e.dyn.Seq, addr: e.dyn.Addr, size: e.dyn.Size, live: true}
+			c.sbCount++
+			c.storeLive++
+			c.commitForward(e.dyn.Seq, e.dyn.Addr, e.dyn.Size)
+			c.stats.Stores++
+			c.lsqCount--
+		} else if e.dyn.IsLoad() {
+			c.stats.Loads++
+			c.lsqCount--
+		}
+		if d := e.dyn.Dst; d != isa.RegNone && c.lastWriter[d] == idx {
+			c.lastWriter[d] = -1
+		}
+		e.state = stEmpty
+		e.deps = e.deps[:0]
+		c.head = (c.head + 1) % c.cfg.RUUSize
+		c.count--
+		c.stats.Committed++
+	}
+}
+
+// --- memory port arbitration ---
+
+func (c *Core) memoryIssue() {
+	c.reqBuf = c.reqBuf[:0]
+	c.reqIdx = c.reqIdx[:0]
+	// Committed stores first: they are the oldest memory operations.
+	for i := 0; i < c.sbCount && len(c.reqBuf) < c.cfg.MemScanDepth; i++ {
+		slot := (c.sbHead + i) % c.cfg.StoreBufferSize
+		sb := &c.storeBuf[slot]
+		if !sb.live || sb.granted {
+			continue
+		}
+		c.reqBuf = append(c.reqBuf, ports.Request{Seq: sb.seq, Addr: sb.addr, Store: true})
+		c.reqIdx = append(c.reqIdx, -int32(slot)-1)
+	}
+	for _, idx := range c.memPending {
+		if len(c.reqBuf) >= c.cfg.MemScanDepth {
+			break
+		}
+		e := &c.entries[idx]
+		c.reqBuf = append(c.reqBuf, ports.Request{Seq: e.dyn.Seq, Addr: e.dyn.Addr, Store: false})
+		c.reqIdx = append(c.reqIdx, idx)
+	}
+	if len(c.reqBuf) == 0 {
+		// Still give stateful arbiters (LBIC store-queue drain) their cycle.
+		c.grantBuf = c.arb.Grant(c.now, nil, c.grantBuf[:0])
+		return
+	}
+	c.grantBuf = c.arb.Grant(c.now, c.reqBuf, c.grantBuf[:0])
+	for _, g := range c.grantBuf {
+		r := c.reqBuf[g]
+		id := c.reqIdx[g]
+		c.stats.PortGrants++
+		var token int64
+		if r.Store {
+			token = int64(c.cfg.RUUSize) + int64(-id-1)
+		} else {
+			token = int64(id)
+		}
+		switch c.hier.Access(c.now, r.Addr, r.Store, token) {
+		case cache.Blocked:
+			c.stats.PortBlocked++
+		default:
+			if r.Store {
+				slot := int(-id - 1)
+				sb := &c.storeBuf[slot]
+				sb.granted = true
+				c.dropForward(sb.seq, sb.addr, sb.size)
+				c.recheckFwdWaiters(sb.seq)
+			} else {
+				c.removeMemPending(id)
+				c.entries[id].state = stMemWait
+			}
+		}
+	}
+}
+
+// storeWritten retires a written store from the buffer.
+func (c *Core) storeWritten(slot int) {
+	c.storeBuf[slot].live = false
+	c.storeLive--
+	for c.sbCount > 0 {
+		head := &c.storeBuf[c.sbHead]
+		if head.live {
+			break
+		}
+		c.sbHead = (c.sbHead + 1) % c.cfg.StoreBufferSize
+		c.sbCount--
+	}
+}
+
+// drainCompletions converts hierarchy completions into wheel events.
+func (c *Core) drainCompletions() {
+	for _, comp := range c.hier.Drain() {
+		if comp.Token >= int64(c.cfg.RUUSize) {
+			c.schedule(comp.At, event{kind: evWrite, idx: int32(comp.Token - int64(c.cfg.RUUSize))})
+		} else {
+			c.schedule(comp.At, event{kind: evMem, idx: int32(comp.Token)})
+		}
+	}
+}
+
+// --- issue ---
+
+func (c *Core) fuAvailable(cl isa.Class) bool {
+	lat := isa.LatencyOf(cl)
+	n := c.cfg.FUCount[cl]
+	if lat.Issue <= 1 {
+		return c.fuUsed[cl] < n
+	}
+	busy := c.fuBusy[cl]
+	live := busy[:0]
+	for _, rel := range busy {
+		if rel > c.now {
+			live = append(live, rel)
+		}
+	}
+	c.fuBusy[cl] = live
+	return len(live) < n
+}
+
+func (c *Core) fuOccupy(cl isa.Class) {
+	lat := isa.LatencyOf(cl)
+	if lat.Issue <= 1 {
+		c.fuUsed[cl]++
+		return
+	}
+	c.fuBusy[cl] = append(c.fuBusy[cl], c.now+uint64(lat.Issue))
+}
+
+func (c *Core) issue() {
+	for cl := range c.fuUsed {
+		c.fuUsed[cl] = 0
+	}
+	budget := c.cfg.IssueWidth
+	attempts := c.readyQ.Len()
+	var sidelined []int32
+	for budget > 0 && attempts > 0 && c.readyQ.Len() > 0 {
+		attempts--
+		idx := c.readyQ.pop()
+		e := &c.entries[idx]
+		cl := e.dyn.Class
+		if !c.fuAvailable(cl) {
+			sidelined = append(sidelined, idx)
+			continue
+		}
+		c.fuOccupy(cl)
+		budget--
+		c.stats.Issued++
+		c.stats.IssuedByClass[cl]++
+		e.state = stIssued
+		if e.dyn.IsMem() {
+			c.schedule(c.now+uint64(isa.LatencyOf(cl).Total), event{kind: evAGU, idx: idx})
+		} else {
+			c.schedule(c.now+uint64(isa.LatencyOf(cl).Total), event{kind: evExec, idx: idx})
+		}
+	}
+	for _, idx := range sidelined {
+		c.entries[idx].state = stReady
+		c.readyQ.push(idx)
+	}
+}
+
+// --- dispatch ---
+
+func (c *Core) peek() (trace.Dyn, bool) {
+	if c.peeked {
+		return c.peekDyn, true
+	}
+	if c.streamEOF {
+		return trace.Dyn{}, false
+	}
+	if !c.stream.Next(&c.peekDyn) {
+		c.streamEOF = true
+		return trace.Dyn{}, false
+	}
+	c.peeked = true
+	return c.peekDyn, true
+}
+
+func (c *Core) dispatch() {
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.cfg.MaxInsts > 0 && c.stats.Dispatched >= c.cfg.MaxInsts {
+			return
+		}
+		if c.count == c.cfg.RUUSize {
+			c.stats.DispatchStallRUU++
+			return
+		}
+		dyn, ok := c.peek()
+		if !ok {
+			return
+		}
+		if dyn.IsMem() && c.lsqCount == c.cfg.LSQSize {
+			c.stats.DispatchStallLSQ++
+			return
+		}
+		c.peeked = false
+		idx := int32((c.head + c.count) % c.cfg.RUUSize)
+		c.count++
+		c.stats.Dispatched++
+
+		e := &c.entries[idx]
+		*e = entry{dyn: dyn, deps: e.deps[:0]}
+		e.dyn.Seq = c.nextSeq
+		c.nextSeq++
+		e.src1Ready = c.wireSource(e.dyn.Src1, idx, 1)
+		e.src2Ready = c.wireSource(e.dyn.Src2, idx, 2)
+
+		switch {
+		case e.dyn.Class == isa.ClassNone:
+			e.state = stDone
+		case e.dyn.IsStore():
+			c.lsqCount++
+			c.storeOrder = append(c.storeOrder, orderRef{seq: e.dyn.Seq, idx: idx})
+			if e.src1Ready {
+				c.pushReady(idx)
+			} else {
+				e.state = stWaiting
+			}
+		case e.dyn.IsLoad():
+			c.lsqCount++
+			fallthrough
+		default:
+			if e.src1Ready && e.src2Ready {
+				c.pushReady(idx)
+			} else {
+				e.state = stWaiting
+			}
+		}
+		if d := e.dyn.Dst; d != isa.RegNone {
+			c.lastWriter[d] = idx
+		}
+	}
+}
+
+// wireSource links a source operand to its producer, reporting whether the
+// operand is already available.
+func (c *Core) wireSource(r isa.Reg, idx int32, operand int) bool {
+	if r == isa.RegNone {
+		return true
+	}
+	p := c.lastWriter[r]
+	if p < 0 {
+		return true
+	}
+	prod := &c.entries[p]
+	if prod.state == stDone {
+		return true
+	}
+	prod.deps = append(prod.deps, idx<<2|int32(operand))
+	return false
+}
+
+// --- ready queue (hand-rolled min-heap by sequence number) ---
+//
+// container/heap would box every int32 through an interface on each
+// push/pop; issue is the hottest stage, so the sift loops are inlined here.
+
+type readyHeap struct {
+	core *Core
+	ids  []int32
+}
+
+// Len returns the number of ready instructions.
+func (h *readyHeap) Len() int { return len(h.ids) }
+
+func (h *readyHeap) less(i, j int) bool {
+	return h.core.entries[h.ids[i]].dyn.Seq < h.core.entries[h.ids[j]].dyn.Seq
+}
+
+func (h *readyHeap) push(v int32) {
+	h.ids = append(h.ids, v)
+	i := len(h.ids) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ids[i], h.ids[parent] = h.ids[parent], h.ids[i]
+		i = parent
+	}
+}
+
+func (h *readyHeap) pop() int32 {
+	top := h.ids[0]
+	last := len(h.ids) - 1
+	h.ids[0] = h.ids[last]
+	h.ids = h.ids[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < last && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.ids[i], h.ids[smallest] = h.ids[smallest], h.ids[i]
+		i = smallest
+	}
+	return top
+}

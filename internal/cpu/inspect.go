@@ -1,0 +1,40 @@
+package cpu
+
+// Introspection accessors used by the pipeline tracer and diagnostics. They
+// expose occupancy snapshots without letting callers mutate the pipeline.
+
+// InFlight returns the number of instructions currently in the RUU.
+func (c *Core) InFlight() int { return c.count }
+
+// LSQLen returns the number of memory operations currently in the LSQ.
+func (c *Core) LSQLen() int { return c.lsqCount }
+
+// ReadyLen returns the number of instructions waiting in the ready queue.
+func (c *Core) ReadyLen() int { return c.readyQ.Len() }
+
+// MemPendingLen returns the number of loads waiting for a cache port.
+func (c *Core) MemPendingLen() int { return len(c.memPending) }
+
+// StoreBufferLen returns the committed stores not yet written to the cache.
+func (c *Core) StoreBufferLen() int { return c.storeLive }
+
+// OrderParkedLen returns loads blocked on unknown older store addresses.
+func (c *Core) OrderParkedLen() int { return len(c.orderParked) }
+
+// HeadState reports the kind and state of the oldest RUU entry, e.g.
+// "load/mem-wait"; "empty" when the window is empty. For diagnostics.
+func (c *Core) HeadState() string {
+	if c.count == 0 {
+		return "empty"
+	}
+	e := &c.entries[c.head]
+	names := []string{"empty", "waiting", "ready", "issued", "order-parked",
+		"fwd-parked", "mem-pending", "mem-wait", "wait-data", "done"}
+	kind := "alu"
+	if e.dyn.IsLoad() {
+		kind = "load"
+	} else if e.dyn.IsStore() {
+		kind = "store"
+	}
+	return kind + "/" + names[e.state]
+}

@@ -1,0 +1,58 @@
+package cpu
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceOptions configures a traced run.
+type TraceOptions struct {
+	// SkipCycles fast-forwards past the warm-up before printing.
+	SkipCycles uint64
+	// MaxCycles bounds the printed window (0 = until completion).
+	MaxCycles uint64
+	// Every prints one line per this many cycles (0 or 1 = every cycle).
+	Every uint64
+}
+
+// TraceRun steps the core to completion, writing a per-cycle pipeline
+// occupancy timeline to w: commits and issues this cycle, window/LSQ
+// occupancy, port grants, loads awaiting ports, the committed store buffer,
+// and what the oldest instruction is doing. It is the visibility tool for
+// understanding *why* a configuration performs as it does.
+func TraceRun(c *Core, w io.Writer, opt TraceOptions) (Stats, error) {
+	if opt.Every == 0 {
+		opt.Every = 1
+	}
+	fmt.Fprintf(w, "%8s %4s %4s %5s %5s %5s %5s %5s %4s  %s\n",
+		"cycle", "com", "iss", "ruu", "lsq", "rdy", "memq", "stbuf", "grnt", "head")
+	var prev Stats
+	printed := uint64(0)
+	for !c.Done() {
+		now := c.Now()
+		head := c.HeadState()
+		if err := c.Step(); err != nil {
+			return c.Stats(), err
+		}
+		cur := c.Stats()
+		if now >= opt.SkipCycles && now%opt.Every == 0 {
+			if opt.MaxCycles > 0 && printed >= opt.MaxCycles {
+				// Keep running silently so final statistics are complete.
+			} else {
+				fmt.Fprintf(w, "%8d %4d %4d %5d %5d %5d %5d %5d %4d  %s\n",
+					now,
+					cur.Committed-prev.Committed,
+					cur.Issued-prev.Issued,
+					c.InFlight(), c.LSQLen(), c.ReadyLen(),
+					c.MemPendingLen(), c.StoreBufferLen(),
+					cur.PortGrants-prev.PortGrants,
+					head)
+				printed++
+			}
+		}
+		prev = cur
+	}
+	st := c.Stats()
+	fmt.Fprintf(w, "\n%d instructions, %d cycles, IPC %.3f\n", st.Committed, st.Cycles, st.IPC())
+	return st, nil
+}

@@ -1,0 +1,445 @@
+package emu
+
+import (
+	"testing"
+
+	"lbic/internal/isa"
+	"lbic/internal/trace"
+)
+
+// run executes the program to completion (or max steps) and returns the
+// machine and collected dynamic stream.
+func run(t *testing.T, p *isa.Program, max int) (*Machine, []trace.Dyn) {
+	t.Helper()
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dyns []trace.Dyn
+	var d trace.Dyn
+	for i := 0; i < max && m.Next(&d); i++ {
+		dyns = append(dyns, d)
+	}
+	return m, dyns
+}
+
+func r(i int) isa.Reg { return isa.R(i) }
+func f(i int) isa.Reg { return isa.F(i) }
+
+func TestIntArithmetic(t *testing.T) {
+	b := isa.NewBuilder("arith")
+	b.Li(r(1), 10)
+	b.Li(r(2), 3)
+	b.Add(r(3), r(1), r(2))  // 13
+	b.Sub(r(4), r(1), r(2))  // 7
+	b.Mul(r(5), r(1), r(2))  // 30
+	b.Div(r(6), r(1), r(2))  // 3
+	b.Rem(r(7), r(1), r(2))  // 1
+	b.And(r(8), r(1), r(2))  // 2
+	b.Or(r(9), r(1), r(2))   // 11
+	b.Xor(r(10), r(1), r(2)) // 9
+	b.Halt()
+	m, _ := run(t, b.MustBuild(), 100)
+	want := map[int]uint64{3: 13, 4: 7, 5: 30, 6: 3, 7: 1, 8: 2, 9: 11, 10: 9}
+	for reg, v := range want {
+		if got := m.Reg(r(reg)); got != v {
+			t.Errorf("r%d = %d, want %d", reg, got, v)
+		}
+	}
+}
+
+func TestShiftsAndCompares(t *testing.T) {
+	b := isa.NewBuilder("shift")
+	b.Li(r(1), -8)
+	b.Slli(r(2), r(1), 2)  // -32
+	b.Srai(r(3), r(1), 1)  // -4
+	b.Srli(r(4), r(1), 60) // high bits of two's complement -8
+	b.Slti(r(5), r(1), 0)  // 1
+	b.Li(r(6), 5)
+	b.Slt(r(7), r(1), r(6))  // 1 (signed)
+	b.Sltu(r(8), r(1), r(6)) // 0 (unsigned: huge > 5)
+	b.Halt()
+	m, _ := run(t, b.MustBuild(), 100)
+	if got := int64(m.Reg(r(2))); got != -32 {
+		t.Errorf("slli = %d, want -32", got)
+	}
+	if got := int64(m.Reg(r(3))); got != -4 {
+		t.Errorf("srai = %d, want -4", got)
+	}
+	if got := m.Reg(r(4)); got != 0xf {
+		t.Errorf("srli = %#x, want 0xf", got)
+	}
+	if m.Reg(r(5)) != 1 || m.Reg(r(7)) != 1 || m.Reg(r(8)) != 0 {
+		t.Errorf("compares = %d,%d,%d want 1,1,0", m.Reg(r(5)), m.Reg(r(7)), m.Reg(r(8)))
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	b := isa.NewBuilder("div0")
+	b.Li(r(1), 42)
+	b.Div(r(2), r(1), r(0))
+	b.Rem(r(3), r(1), r(0))
+	b.Halt()
+	m, _ := run(t, b.MustBuild(), 10)
+	if m.Reg(r(2)) != ^uint64(0) {
+		t.Errorf("div by zero = %#x, want all ones", m.Reg(r(2)))
+	}
+	if m.Reg(r(3)) != 42 {
+		t.Errorf("rem by zero = %d, want dividend", m.Reg(r(3)))
+	}
+}
+
+func TestZeroRegisterHardwired(t *testing.T) {
+	b := isa.NewBuilder("zero")
+	b.Li(r(0), 99) // write discarded
+	b.Add(r(1), r(0), r(0))
+	b.Halt()
+	m, _ := run(t, b.MustBuild(), 10)
+	if m.Reg(r(0)) != 0 {
+		t.Errorf("r0 = %d, want 0", m.Reg(r(0)))
+	}
+	if m.Reg(r(1)) != 0 {
+		t.Errorf("r1 = %d, want 0", m.Reg(r(1)))
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	b := isa.NewBuilder("fp")
+	a := b.Alloc(32, 8)
+	b.SetFloat64(a, 1.5)
+	b.SetFloat64(a+8, 2.5)
+	b.Li(r(1), int64(a))
+	b.Fld(f(1), r(1), 0)
+	b.Fld(f(2), r(1), 8)
+	b.FAdd(f(3), f(1), f(2)) // 4.0
+	b.FSub(f(4), f(2), f(1)) // 1.0
+	b.FMul(f(5), f(1), f(2)) // 3.75
+	b.FDiv(f(6), f(2), f(1)) // 5/3
+	b.FNeg(f(7), f(1))       // -1.5
+	b.FAbs(f(8), f(7))       // 1.5
+	b.FCmpLT(r(2), f(1), f(2))
+	b.Fsd(f(3), r(1), 16)
+	b.Halt()
+	m, _ := run(t, b.MustBuild(), 100)
+	if m.FReg(f(3)) != 4.0 || m.FReg(f(4)) != 1.0 || m.FReg(f(5)) != 3.75 {
+		t.Errorf("fp arith wrong: %v %v %v", m.FReg(f(3)), m.FReg(f(4)), m.FReg(f(5)))
+	}
+	if m.FReg(f(7)) != -1.5 || m.FReg(f(8)) != 1.5 {
+		t.Errorf("fneg/fabs wrong: %v %v", m.FReg(f(7)), m.FReg(f(8)))
+	}
+	if m.Reg(r(2)) != 1 {
+		t.Error("fcmplt wrong")
+	}
+	if got := m.Mem().Read(a+16, 8); got != 0x4010000000000000 { // 4.0 bits
+		t.Errorf("fsd stored %#x", got)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	b := isa.NewBuilder("cvt")
+	b.Li(r(1), -7)
+	b.CvtIF(f(1), r(1))
+	b.CvtFI(r(2), f(1))
+	b.Halt()
+	m, _ := run(t, b.MustBuild(), 10)
+	if m.FReg(f(1)) != -7.0 {
+		t.Errorf("cvt.i.f = %v", m.FReg(f(1)))
+	}
+	if int64(m.Reg(r(2))) != -7 {
+		t.Errorf("cvt.f.i = %d", int64(m.Reg(r(2))))
+	}
+}
+
+func TestLoadSignExtension(t *testing.T) {
+	b := isa.NewBuilder("signext")
+	a := b.Alloc(16, 8)
+	b.SetByte(a, 0xff)
+	b.SetWord32(a+4, 0xffffffff)
+	b.Li(r(1), int64(a))
+	b.Lb(r(2), r(1), 0)
+	b.Lbu(r(3), r(1), 0)
+	b.Lw(r(4), r(1), 4)
+	b.Lwu(r(5), r(1), 4)
+	b.Halt()
+	m, _ := run(t, b.MustBuild(), 10)
+	if int64(m.Reg(r(2))) != -1 {
+		t.Errorf("lb = %d, want -1", int64(m.Reg(r(2))))
+	}
+	if m.Reg(r(3)) != 0xff {
+		t.Errorf("lbu = %#x, want 0xff", m.Reg(r(3)))
+	}
+	if int64(m.Reg(r(4))) != -1 {
+		t.Errorf("lw = %d, want -1", int64(m.Reg(r(4))))
+	}
+	if m.Reg(r(5)) != 0xffffffff {
+		t.Errorf("lwu = %#x", m.Reg(r(5)))
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	// Sum 1..10 with a loop.
+	b := isa.NewBuilder("sum")
+	b.Li(r(1), 0)  // sum
+	b.Li(r(2), 1)  // i
+	b.Li(r(3), 11) // limit
+	b.Label("loop")
+	b.Add(r(1), r(1), r(2))
+	b.Addi(r(2), r(2), 1)
+	b.Blt(r(2), r(3), "loop")
+	b.Halt()
+	m, dyns := run(t, b.MustBuild(), 1000)
+	if m.Reg(r(1)) != 55 {
+		t.Errorf("sum = %d, want 55", m.Reg(r(1)))
+	}
+	if len(dyns) != 3+3*10+1 {
+		t.Errorf("dynamic count = %d, want 34", len(dyns))
+	}
+}
+
+func TestJalJr(t *testing.T) {
+	b := isa.NewBuilder("call")
+	b.Li(r(10), 5)
+	b.Jal(r(31), "fn")
+	b.Add(r(11), r(10), r(10)) // executes after return: r11 = 12
+	b.Halt()
+	b.Label("fn")
+	b.Addi(r(10), r(10), 1) // r10 = 6
+	b.Jr(r(31))
+	m, _ := run(t, b.MustBuild(), 100)
+	if m.Reg(r(10)) != 6 {
+		t.Errorf("fn did not run: r10 = %d", m.Reg(r(10)))
+	}
+	if m.Reg(r(11)) != 12 {
+		t.Errorf("return path wrong: r11 = %d", m.Reg(r(11)))
+	}
+}
+
+func TestMemcpyProgram(t *testing.T) {
+	b := isa.NewBuilder("memcpy")
+	src := b.Alloc(64, 8)
+	dst := b.Alloc(64, 8)
+	for i := 0; i < 8; i++ {
+		b.SetWord64(src+uint64(8*i), uint64(i*i+1))
+	}
+	b.Li(r(1), int64(src))
+	b.Li(r(2), int64(dst))
+	b.Li(r(3), 8) // count
+	b.Label("loop")
+	b.Ld(r(4), r(1), 0)
+	b.Sd(r(4), r(2), 0)
+	b.Addi(r(1), r(1), 8)
+	b.Addi(r(2), r(2), 8)
+	b.Addi(r(3), r(3), -1)
+	b.Bne(r(3), r(0), "loop")
+	b.Halt()
+	m, dyns := run(t, b.MustBuild(), 1000)
+	for i := 0; i < 8; i++ {
+		want := uint64(i*i + 1)
+		if got := m.Mem().Read(dst+uint64(8*i), 8); got != want {
+			t.Errorf("dst[%d] = %d, want %d", i, got, want)
+		}
+	}
+	// Check the dynamic stream has the right memory records.
+	loads, stores := 0, 0
+	for i := range dyns {
+		if dyns[i].IsLoad() {
+			loads++
+			if dyns[i].Size != 8 {
+				t.Errorf("load size %d", dyns[i].Size)
+			}
+		}
+		if dyns[i].IsStore() {
+			stores++
+		}
+	}
+	if loads != 8 || stores != 8 {
+		t.Errorf("loads/stores = %d/%d, want 8/8", loads, stores)
+	}
+}
+
+func TestDynRecords(t *testing.T) {
+	b := isa.NewBuilder("dyn")
+	a := b.Alloc(8, 8)
+	b.Li(r(1), int64(a))
+	b.Lw(r(2), r(1), 4)
+	b.Halt()
+	_, dyns := run(t, b.MustBuild(), 10)
+	if len(dyns) != 3 {
+		t.Fatalf("dyn count = %d", len(dyns))
+	}
+	ld := dyns[1]
+	if !ld.IsLoad() || ld.Addr != a+4 || ld.Size != 4 {
+		t.Errorf("load dyn = %+v", ld)
+	}
+	if ld.Src1 != r(1) || ld.Dst != r(2) {
+		t.Errorf("load regs = %s -> %s", ld.Src1, ld.Dst)
+	}
+	if ld.Seq != 1 {
+		t.Errorf("seq = %d, want 1", ld.Seq)
+	}
+	if dyns[0].Dst != r(1) || dyns[0].Src1 != isa.RegNone {
+		t.Errorf("li dyn = %+v", dyns[0])
+	}
+}
+
+func TestHaltStopsStream(t *testing.T) {
+	b := isa.NewBuilder("halt")
+	b.Halt()
+	b.Li(r(1), 1) // unreachable
+	m, dyns := run(t, b.MustBuild(), 10)
+	if len(dyns) != 1 {
+		t.Errorf("dyn count = %d, want 1", len(dyns))
+	}
+	if !m.Halted() {
+		t.Error("machine should be halted")
+	}
+	var d trace.Dyn
+	if m.Next(&d) {
+		t.Error("Next after halt should return false")
+	}
+}
+
+func TestRunOffEndHalts(t *testing.T) {
+	p := &isa.Program{Name: "falloff", Code: []isa.Inst{{Op: isa.Nop}}}
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d trace.Dyn
+	if !m.Next(&d) {
+		t.Fatal("first Next should succeed")
+	}
+	if m.Next(&d) {
+		t.Error("running off the end should halt")
+	}
+}
+
+func TestGuardFaultPanics(t *testing.T) {
+	b := isa.NewBuilder("nullderef")
+	b.Lw(r(1), r(0), 16) // address 16: guard region
+	b.Halt()
+	m, err := New(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected fault panic")
+		}
+	}()
+	var d trace.Dyn
+	m.Next(&d)
+}
+
+func TestDataSegmentsLoaded(t *testing.T) {
+	b := isa.NewBuilder("segs")
+	a1 := b.Alloc(8, 4096) // force two separate pages
+	a2 := b.Alloc(8, 4096)
+	b.SetWord64(a1, 111)
+	b.SetWord64(a2, 222)
+	b.Halt()
+	m, _ := run(t, b.MustBuild(), 10)
+	if m.Mem().Read(a1, 8) != 111 || m.Mem().Read(a2, 8) != 222 {
+		t.Error("data segments not loaded")
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	b := isa.NewBuilder("count")
+	b.Nop()
+	b.Nop()
+	b.Halt()
+	m, dyns := run(t, b.MustBuild(), 10)
+	if m.Executed() != 3 || len(dyns) != 3 {
+		t.Errorf("executed = %d, dyns = %d, want 3", m.Executed(), len(dyns))
+	}
+}
+
+// TestOpcodeCoverage: every defined opcode executes somewhere in this test
+// suite's programs plus this catch-all program, guarding against opcodes
+// that decode but were never exercised.
+func TestOpcodeCoverage(t *testing.T) {
+	b := isa.NewBuilder("coverage")
+	a := b.Alloc(64, 8)
+	b.SetFloat64(a, 2.0)
+	b.SetFloat64(a+8, 4.0)
+	r1, r2, r3 := isa.R(1), isa.R(2), isa.R(3)
+	f1, f2 := isa.F(1), isa.F(2)
+	b.Li(r1, int64(a))
+	b.Li(r2, 6)
+	b.Nop()
+	b.Add(r3, r2, r2)
+	b.Sub(r3, r3, r2)
+	b.And(r3, r3, r2)
+	b.Or(r3, r3, r2)
+	b.Xor(r3, r3, r2)
+	b.Sll(r3, r3, r2)
+	b.Srl(r3, r3, r2)
+	b.Sra(r3, r3, r2)
+	b.Slt(r3, r3, r2)
+	b.Sltu(r3, r3, r2)
+	b.Addi(r3, r3, 1)
+	b.Andi(r3, r3, 7)
+	b.Ori(r3, r3, 8)
+	b.Xori(r3, r3, 1)
+	b.Slli(r3, r3, 2)
+	b.Srli(r3, r3, 1)
+	b.Srai(r3, r3, 1)
+	b.Slti(r3, r3, 100)
+	b.Mul(r3, r3, r2)
+	b.Div(r3, r3, r2)
+	b.Rem(r3, r3, r2)
+	b.Fld(f1, r1, 0)
+	b.Fld(f2, r1, 8)
+	b.FAdd(f2, f2, f1)
+	b.FSub(f2, f2, f1)
+	b.FMul(f2, f2, f1)
+	b.FDiv(f2, f2, f1)
+	b.FNeg(f2, f2)
+	b.FAbs(f2, f2)
+	b.CvtIF(f2, r2)
+	b.CvtFI(r3, f2)
+	b.FCmpLT(r3, f1, f2)
+	b.Lb(r3, r1, 0)
+	b.Lbu(r3, r1, 0)
+	b.Lw(r3, r1, 0)
+	b.Lwu(r3, r1, 0)
+	b.Ld(r3, r1, 0)
+	b.Sb(r3, r1, 16)
+	b.Sw(r3, r1, 16)
+	b.Sd(r3, r1, 16)
+	b.Fsd(f1, r1, 24)
+	b.Beq(r3, r3, "next")
+	b.Label("next")
+	b.Bne(r3, r2, "next2")
+	b.Label("next2")
+	b.Blt(r2, r3, "next3")
+	b.Label("next3")
+	b.Bge(r3, r2, "next4")
+	b.Label("next4")
+	b.Jal(isa.R(31), "fn")
+	b.J("end")
+	b.Label("fn")
+	b.Jr(isa.R(31))
+	b.Label("end")
+	b.Halt()
+	p := b.MustBuild()
+
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[isa.Op]bool{}
+	var d trace.Dyn
+	for m.Next(&d) {
+		seen[d.Op] = true
+	}
+	for op := isa.Op(0); op < isa.NumOps; op++ {
+		if !seen[op] {
+			t.Errorf("opcode %s never executed", op)
+		}
+	}
+	if len(seen) != int(isa.NumOps) {
+		t.Errorf("executed %d distinct opcodes, have %d defined", len(seen), isa.NumOps)
+	}
+}

@@ -1,0 +1,577 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lbic"
+	"lbic/internal/stats"
+)
+
+// Ablation studies: design-choice sweeps the paper argues about in prose.
+// Each returns a rendered table; cmd/lbictables -ablations prints them all.
+
+// AblationInsts is the default per-run budget for ablations (secondary
+// studies run at a reduced budget).
+const AblationInsts = 300_000
+
+// AblationBankSelection compares bank selection functions on the 4-bank
+// cache (§3.2: "the choice of a selection function may not be as critical as
+// we thought since much of the loss of bandwidth due to same bank collisions
+// map to the same cache line"). Word interleaving is the §4 counterpoint:
+// it removes same-line conflicts but costs tag replication.
+func AblationBankSelection(insts uint64) (*stats.Table, error) {
+	kinds := []lbic.BankSelectorKind{lbic.BitSelect, lbic.XorFold, lbic.WordInterleave}
+	t := stats.NewTable(
+		"Ablation: bank selection function (4 banks, IPC)",
+		"Program", "bit-select", "xor-fold", "word-interleave")
+	sums := make([]float64, len(kinds))
+	for _, name := range lbic.BenchmarkNames() {
+		cells := []string{title(name)}
+		for i, kind := range kinds {
+			port := lbic.BankedPort(4)
+			port.Selector = kind
+			res, err := simulate(name, port, insts)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, stats.FormatIPC(res.IPC))
+			sums[i] += res.IPC
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"Average"}
+	for _, s := range sums {
+		cells = append(cells, stats.FormatIPC(s/10))
+	}
+	t.AddRow(cells...)
+	return t, nil
+}
+
+// AblationCombiningPolicy compares the paper's leading-request LBIC with the
+// §5.2 proposed enhancement (open the line with the largest combinable
+// group, with periodic age rotation against starvation).
+func AblationCombiningPolicy(insts uint64) (*stats.Table, error) {
+	t := stats.NewTable(
+		"Ablation: LBIC line selection policy (4x2, IPC)",
+		"Program", "leading", "greedy", "delta")
+	var lSum, gSum float64
+	for _, name := range lbic.BenchmarkNames() {
+		leading, err := simulate(name, lbic.LBICPort(4, 2), insts)
+		if err != nil {
+			return nil, err
+		}
+		port := lbic.LBICPort(4, 2)
+		port.Greedy = true
+		greedy, err := simulate(name, port, insts)
+		if err != nil {
+			return nil, err
+		}
+		lSum += leading.IPC
+		gSum += greedy.IPC
+		t.AddRow(title(name), stats.FormatIPC(leading.IPC), stats.FormatIPC(greedy.IPC),
+			fmt.Sprintf("%+.1f%%", 100*(greedy.IPC-leading.IPC)/leading.IPC))
+	}
+	t.AddRow("Average", stats.FormatIPC(lSum/10), stats.FormatIPC(gSum/10),
+		fmt.Sprintf("%+.1f%%", 100*(gSum-lSum)/lSum))
+	return t, nil
+}
+
+// AblationLSQDepth sweeps the load/store queue depth under the 4x2 LBIC
+// (§5.2: "performance of the scheme depends on the depth of the LSQ. Deeper
+// LSQs will help to minimize possible performance degradation due to
+// insufficient data requests for combining").
+func AblationLSQDepth(insts uint64) (*stats.Table, error) {
+	depths := []int{16, 32, 64, 128, 512}
+	headers := []string{"Program"}
+	for _, d := range depths {
+		headers = append(headers, fmt.Sprintf("LSQ %d", d))
+	}
+	t := stats.NewTable("Ablation: LSQ depth under the 4x2 LBIC (IPC)", headers...)
+	sums := make([]float64, len(depths))
+	for _, name := range lbic.BenchmarkNames() {
+		prog, err := lbic.BuildBenchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		cells := []string{title(name)}
+		for i, d := range depths {
+			cfg := lbic.DefaultConfig()
+			cfg.Port = lbic.LBICPort(4, 2)
+			cfg.MaxInsts = insts
+			cpu := defaultCPU()
+			cpu.LSQSize = d
+			cfg.CPU = &cpu
+			res, err := lbic.Simulate(prog, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, stats.FormatIPC(res.IPC))
+			sums[i] += res.IPC
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"Average"}
+	for _, s := range sums {
+		cells = append(cells, stats.FormatIPC(s/10))
+	}
+	t.AddRow(cells...)
+	return t, nil
+}
+
+// AblationStoreQueueDepth sweeps the LBIC per-bank store queue depth on the
+// store-heavy integer codes (§5.2's PA8000-style store queue).
+func AblationStoreQueueDepth(insts uint64) (*stats.Table, error) {
+	depths := []int{1, 2, 4, 8, 32}
+	headers := []string{"Program"}
+	for _, d := range depths {
+		headers = append(headers, fmt.Sprintf("SQ %d", d))
+	}
+	t := stats.NewTable("Ablation: LBIC per-bank store queue depth (4x2, IPC, SPECint)", headers...)
+	sums := make([]float64, len(depths))
+	for _, name := range IntNames() {
+		cells := []string{title(name)}
+		for i, d := range depths {
+			port := lbic.LBICPort(4, 2)
+			port.StoreQueueDepth = d
+			res, err := simulate(name, port, insts)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, stats.FormatIPC(res.IPC))
+			sums[i] += res.IPC
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"Average"}
+	for _, s := range sums {
+		cells = append(cells, stats.FormatIPC(s/float64(len(IntNames()))))
+	}
+	t.AddRow(cells...)
+	return t, nil
+}
+
+// AblationStoreQueueDecomposition separates the LBIC's two mechanisms on the
+// store-heavy integer suite: plain banking, banking plus PA8000-style store
+// queues (no combining), and the full LBIC (store queues plus combining).
+func AblationStoreQueueDecomposition(insts uint64) (*stats.Table, error) {
+	cfgs := []lbic.PortConfig{
+		lbic.BankedPort(4),
+		lbic.BankedSQPort(4),
+		lbic.LBICPort(4, 2),
+		lbic.LBICPort(4, 4),
+	}
+	headers := []string{"Program"}
+	for _, c := range cfgs {
+		headers = append(headers, c.Name())
+	}
+	t := stats.NewTable("Ablation: store queues vs combining (4 banks, IPC)", headers...)
+	sums := make([]float64, len(cfgs))
+	for _, name := range lbic.BenchmarkNames() {
+		cells := []string{title(name)}
+		for i, c := range cfgs {
+			res, err := simulate(name, c, insts)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, stats.FormatIPC(res.IPC))
+			sums[i] += res.IPC
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"Average"}
+	for _, s := range sums {
+		cells = append(cells, stats.FormatIPC(s/10))
+	}
+	t.AddRow(cells...)
+	return t, nil
+}
+
+// AblationScanDepth sweeps the LSQ scheduling window (how many ready
+// requests the arbiter sees per cycle) for the banked cache, quantifying the
+// §5 claim that memory re-ordering lets multi-banking fill independent
+// banks.
+func AblationScanDepth(insts uint64) (*stats.Table, error) {
+	widths := []int{1, 4, 16, 64, 256}
+	headers := []string{"Program"}
+	for _, w := range widths {
+		headers = append(headers, fmt.Sprintf("scan %d", w))
+	}
+	t := stats.NewTable("Ablation: LSQ scheduling window under bank-4 (IPC)", headers...)
+	sums := make([]float64, len(widths))
+	for _, name := range lbic.BenchmarkNames() {
+		prog, err := lbic.BuildBenchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		cells := []string{title(name)}
+		for i, w := range widths {
+			cfg := lbic.DefaultConfig()
+			cfg.Port = lbic.BankedPort(4)
+			cfg.MaxInsts = insts
+			cpu := defaultCPU()
+			cpu.MemScanDepth = w
+			cfg.CPU = &cpu
+			res, err := lbic.Simulate(prog, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, stats.FormatIPC(res.IPC))
+			sums[i] += res.IPC
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"Average"}
+	for _, s := range sums {
+		cells = append(cells, stats.FormatIPC(s/10))
+	}
+	t.AddRow(cells...)
+	return t, nil
+}
+
+// AblationLineSize sweeps the L1 line size under the 4x2 LBIC and the plain
+// 4-bank cache. Larger lines put more consecutive references on one line:
+// more combining opportunity for the LBIC, more same-line conflicts for the
+// plain banked design — the tradeoff behind the paper's footnote-a choice of
+// line interleaving.
+func AblationLineSize(insts uint64) (*stats.Table, error) {
+	lineSizes := []int{16, 32, 64, 128}
+	headers := []string{"Program"}
+	for _, ls := range lineSizes {
+		headers = append(headers, fmt.Sprintf("bank %dB", ls))
+	}
+	for _, ls := range lineSizes {
+		headers = append(headers, fmt.Sprintf("lbic %dB", ls))
+	}
+	t := stats.NewTable("Ablation: L1 line size, 4-bank vs 4x2 LBIC (IPC)", headers...)
+	run := func(name string, port lbic.PortConfig, lineSize int) (float64, error) {
+		prog, err := lbic.BuildBenchmark(name)
+		if err != nil {
+			return 0, err
+		}
+		cfg := lbic.DefaultConfig()
+		cfg.Port = port
+		cfg.MaxInsts = insts
+		mem := lbic.DefaultMemParams()
+		mem.L1.LineSize = lineSize
+		if mem.L2.LineSize < lineSize {
+			mem.L2.LineSize = lineSize
+		}
+		cfg.Mem = &mem
+		res, err := lbic.Simulate(prog, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.IPC, nil
+	}
+	sums := make([]float64, 2*len(lineSizes))
+	for _, name := range lbic.BenchmarkNames() {
+		cells := []string{title(name)}
+		for i, ls := range lineSizes {
+			v, err := run(name, lbic.BankedPort(4), ls)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, stats.FormatIPC(v))
+			sums[i] += v
+		}
+		for i, ls := range lineSizes {
+			v, err := run(name, lbic.LBICPort(4, 2), ls)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, stats.FormatIPC(v))
+			sums[len(lineSizes)+i] += v
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"Average"}
+	for _, s := range sums {
+		cells = append(cells, stats.FormatIPC(s/10))
+	}
+	t.AddRow(cells...)
+	return t, nil
+}
+
+// AblationAssociativity reports each kernel's miss rate as the 32KB L1 gains
+// associativity: conflict misses (go, perl, compress hot structures) fall,
+// compulsory streaming misses (the FP codes) do not.
+func AblationAssociativity(insts uint64) (*stats.Table, error) {
+	assocs := []int{1, 2, 4, 8}
+	headers := []string{"Program"}
+	for _, a := range assocs {
+		headers = append(headers, fmt.Sprintf("%d-way", a))
+	}
+	t := stats.NewTable("Ablation: 32KB L1 associativity vs miss rate", headers...)
+	for _, name := range lbic.BenchmarkNames() {
+		prog, err := lbic.BuildBenchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		cells := []string{title(name)}
+		for _, a := range assocs {
+			s, err := lbic.CharacterizeWith(prog, insts,
+				lbic.Geometry{Size: 32 << 10, LineSize: 32, Assoc: a})
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, fmt.Sprintf("%.4f", s.MissRate))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// AblationEqualPorts compares designs with the SAME total of eight ports:
+// one ideal 8-port array, multi-ported banks at 2x4/4x2, eight single-ported
+// banks, and — at far lower cost than any of them — the 4x2 LBIC's eight
+// effective ports (four single-ported banks plus line buffers). This is the
+// cost/performance frontier the paper's conclusion argues about.
+func AblationEqualPorts(insts uint64) (*stats.Table, error) {
+	cfgs := []lbic.PortConfig{
+		lbic.IdealPort(8),
+		lbic.MultiPortedBanksPort(2, 4),
+		lbic.MultiPortedBanksPort(4, 2),
+		lbic.BankedPort(8),
+		lbic.LBICPort(4, 2),
+	}
+	headers := []string{"Program"}
+	for _, c := range cfgs {
+		headers = append(headers, c.Name())
+	}
+	t := stats.NewTable("Ablation: eight total ports, five ways (IPC)", headers...)
+	sums := make([]float64, len(cfgs))
+	for _, name := range lbic.BenchmarkNames() {
+		cells := []string{title(name)}
+		for i, c := range cfgs {
+			res, err := simulate(name, c, insts)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, stats.FormatIPC(res.IPC))
+			sums[i] += res.IPC
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"Average"}
+	for _, s := range sums {
+		cells = append(cells, stats.FormatIPC(s/10))
+	}
+	t.AddRow(cells...)
+	return t, nil
+}
+
+// AblationMemoryLatency sweeps the main-memory latency under true-4 and the
+// 4x2 LBIC. The paper stresses bandwidth rather than latency (§2.1, a flat
+// 10-cycle memory); this sweep verifies the design ranking it reports is
+// stable as memory gets slower.
+func AblationMemoryLatency(insts uint64) (*stats.Table, error) {
+	lats := []int{10, 25, 50, 100}
+	headers := []string{"Program"}
+	for _, l := range lats {
+		headers = append(headers, fmt.Sprintf("true-4 @%d", l))
+	}
+	for _, l := range lats {
+		headers = append(headers, fmt.Sprintf("lbic @%d", l))
+	}
+	t := stats.NewTable("Ablation: main-memory latency (IPC)", headers...)
+	run := func(name string, port lbic.PortConfig, lat int) (float64, error) {
+		prog, err := lbic.BuildBenchmark(name)
+		if err != nil {
+			return 0, err
+		}
+		cfg := lbic.DefaultConfig()
+		cfg.Port = port
+		cfg.MaxInsts = insts
+		mem := lbic.DefaultMemParams()
+		mem.MemLat = lat
+		cfg.Mem = &mem
+		res, err := lbic.Simulate(prog, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.IPC, nil
+	}
+	sums := make([]float64, 2*len(lats))
+	for _, name := range lbic.BenchmarkNames() {
+		cells := []string{title(name)}
+		for i, l := range lats {
+			v, err := run(name, lbic.IdealPort(4), l)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, stats.FormatIPC(v))
+			sums[i] += v
+		}
+		for i, l := range lats {
+			v, err := run(name, lbic.LBICPort(4, 2), l)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, stats.FormatIPC(v))
+			sums[len(lats)+i] += v
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"Average"}
+	for _, s := range sums {
+		cells = append(cells, stats.FormatIPC(s/10))
+	}
+	t.AddRow(cells...)
+	return t, nil
+}
+
+// AblationL2Bandwidth sweeps how many miss requests the L1-to-L2 path
+// accepts per cycle under 16 ideal ports. The paper's §2.1 path accepts one
+// per cycle; the streaming FP kernels turn out to be bound by exactly that,
+// so widening it exposes how much of their port headroom the memory system
+// was absorbing.
+func AblationL2Bandwidth(insts uint64) (*stats.Table, error) {
+	widths := []int{1, 2, 4}
+	headers := []string{"Program"}
+	for _, w := range widths {
+		headers = append(headers, fmt.Sprintf("%d/cycle", w))
+	}
+	t := stats.NewTable("Ablation: L1-to-L2 request bandwidth under true-16 (IPC)", headers...)
+	sums := make([]float64, len(widths))
+	for _, name := range lbic.BenchmarkNames() {
+		prog, err := lbic.BuildBenchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		cells := []string{title(name)}
+		for i, w := range widths {
+			cfg := lbic.DefaultConfig()
+			cfg.Port = lbic.IdealPort(16)
+			cfg.MaxInsts = insts
+			mem := lbic.DefaultMemParams()
+			mem.L2PerCycle = w
+			cfg.Mem = &mem
+			res, err := lbic.Simulate(prog, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, stats.FormatIPC(res.IPC))
+			sums[i] += res.IPC
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"Average"}
+	for _, s := range sums {
+		cells = append(cells, stats.FormatIPC(s/10))
+	}
+	t.AddRow(cells...)
+	return t, nil
+}
+
+// AblationAGUs sweeps the load/store (address generation) unit count under
+// four ideal ports — Table 1's "varying # of L/S units". With fewer AGUs
+// than ports, address generation throttles the memory stream before the
+// ports can.
+func AblationAGUs(insts uint64) (*stats.Table, error) {
+	counts := []int{1, 2, 4, 64}
+	headers := []string{"Program"}
+	for _, n := range counts {
+		headers = append(headers, fmt.Sprintf("%d L/S", n))
+	}
+	t := stats.NewTable("Ablation: load/store unit count under true-4 (IPC)", headers...)
+	sums := make([]float64, len(counts))
+	for _, name := range lbic.BenchmarkNames() {
+		prog, err := lbic.BuildBenchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		cells := []string{title(name)}
+		for i, n := range counts {
+			cfg := lbic.DefaultConfig()
+			cfg.Port = lbic.IdealPort(4)
+			cfg.MaxInsts = insts
+			cpu := defaultCPU()
+			cpu.FUCount[lbic.ClassLoad] = n
+			cpu.FUCount[lbic.ClassStore] = n
+			cfg.CPU = &cpu
+			res, err := lbic.Simulate(prog, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, stats.FormatIPC(res.IPC))
+			sums[i] += res.IPC
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"Average"}
+	for _, s := range sums {
+		cells = append(cells, stats.FormatIPC(s/10))
+	}
+	t.AddRow(cells...)
+	return t, nil
+}
+
+// AblationCacheSize sweeps the L1 capacity and reports the miss rate of each
+// kernel, verifying the working sets respond to capacity the way their
+// SPEC95 namesakes' footprints suggest.
+func AblationCacheSize(insts uint64) (*stats.Table, error) {
+	sizes := []int{8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
+	headers := []string{"Program"}
+	for _, s := range sizes {
+		headers = append(headers, fmt.Sprintf("%dKB", s>>10))
+	}
+	t := stats.NewTable("Ablation: L1 capacity vs miss rate (direct-mapped, 32B lines)", headers...)
+	for _, name := range lbic.BenchmarkNames() {
+		prog, err := lbic.BuildBenchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		cells := []string{title(name)}
+		for _, size := range sizes {
+			s, err := lbic.CharacterizeWith(prog, insts,
+				lbic.Geometry{Size: size, LineSize: 32, Assoc: 1})
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, fmt.Sprintf("%.4f", s.MissRate))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// defaultCPU mirrors the simulator's Table 1 baseline for overriding.
+func defaultCPU() lbic.CPUConfig {
+	return lbic.DefaultCPUConfig()
+}
+
+// Ablations runs every ablation study.
+func Ablations(insts uint64, progress func(string)) ([]*stats.Table, error) {
+	studies := []struct {
+		name string
+		run  func(uint64) (*stats.Table, error)
+	}{
+		{"bank selection", AblationBankSelection},
+		{"combining policy", AblationCombiningPolicy},
+		{"LSQ depth", AblationLSQDepth},
+		{"store queue depth", AblationStoreQueueDepth},
+		{"store queues vs combining", AblationStoreQueueDecomposition},
+		{"scheduling window", AblationScanDepth},
+		{"cache size", AblationCacheSize},
+		{"line size", AblationLineSize},
+		{"L2 bandwidth", AblationL2Bandwidth},
+		{"equal total ports", AblationEqualPorts},
+		{"memory latency", AblationMemoryLatency},
+		{"load/store units", AblationAGUs},
+		{"associativity", AblationAssociativity},
+		{"access patterns", PatternMatrix},
+		{"infinite banks", Figure3Banks},
+	}
+	var tables []*stats.Table
+	for _, s := range studies {
+		if progress != nil {
+			progress(s.name)
+		}
+		t, err := s.run(insts)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", s.name, err)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

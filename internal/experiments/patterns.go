@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"lbic"
+	"lbic/internal/stats"
+)
+
+// PatternMatrix simulates every access-pattern microbenchmark against a
+// representative set of port organizations — the cleanest view of which
+// stream property each design responds to: combining wins same-line bursts,
+// banking wins balanced strides and random streams, replication loses store
+// bursts, and nothing helps a pointer chase.
+func PatternMatrix(insts uint64) (*stats.Table, error) {
+	ports := []lbic.PortConfig{
+		lbic.IdealPort(1),
+		lbic.IdealPort(4),
+		lbic.ReplicatedPort(4),
+		lbic.BankedPort(4),
+		bankedXor(4),
+		lbic.LBICPort(4, 2),
+		lbic.LBICPort(4, 4),
+	}
+	headers := []string{"Pattern"}
+	for _, p := range ports {
+		headers = append(headers, p.Name())
+	}
+	t := stats.NewTable("Access-pattern matrix (IPC)", headers...)
+	for _, pat := range lbic.Patterns() {
+		prog := pat.Build()
+		cells := []string{pat.Name}
+		for _, port := range ports {
+			cfg := lbic.DefaultConfig()
+			cfg.Port = port
+			cfg.MaxInsts = insts
+			res, err := lbic.Simulate(prog, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, stats.FormatIPC(res.IPC))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+func bankedXor(banks int) lbic.PortConfig {
+	p := lbic.BankedPort(banks)
+	p.Selector = lbic.XorFold
+	return p
+}

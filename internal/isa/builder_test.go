@@ -1,0 +1,268 @@
+package isa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBuilderLabelResolution(t *testing.T) {
+	b := NewBuilder("loop")
+	b.Li(R(1), 0)
+	b.Label("top")
+	b.Addi(R(1), R(1), 1)
+	b.Blt(R(1), R(2), "top") // forward-defined label already resolved
+	b.J("end")               // forward reference
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[2].Imm != 1 {
+		t.Errorf("blt target = %d, want 1", p.Code[2].Imm)
+	}
+	if p.Code[3].Imm != 4 {
+		t.Errorf("j target = %d, want 4", p.Code[3].Imm)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("bad")
+	b.J("nowhere")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Errorf("Build() error = %v, want undefined label", err)
+	}
+}
+
+func TestBuilderDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for duplicate label")
+		}
+	}()
+	b := NewBuilder("dup")
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestBuilderRegisterClassChecks(t *testing.T) {
+	cases := []func(b *Builder){
+		func(b *Builder) { b.Add(F(1), R(1), R(2)) },
+		func(b *Builder) { b.FAdd(R(1), F(1), F(2)) },
+		func(b *Builder) { b.Lw(F(1), R(2), 0) },
+		func(b *Builder) { b.Fld(R(1), R(2), 0) },
+		func(b *Builder) { b.Sw(F(3), R(2), 0) },
+		func(b *Builder) { b.Beq(F(1), R(2), "x") },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic for wrong register class", i)
+				}
+			}()
+			f(NewBuilder("chk"))
+		}()
+	}
+}
+
+func TestBuilderAlloc(t *testing.T) {
+	b := NewBuilder("alloc")
+	a1 := b.Alloc(100, 64)
+	a2 := b.Alloc(10, 8)
+	if a1%64 != 0 {
+		t.Errorf("first alloc %#x not 64-aligned", a1)
+	}
+	if a2 < a1+100 {
+		t.Errorf("second alloc %#x overlaps first ending %#x", a2, a1+100)
+	}
+	if a2%8 != 0 {
+		t.Errorf("second alloc %#x not 8-aligned", a2)
+	}
+	if a1 < DataBase {
+		t.Errorf("alloc %#x below DataBase", a1)
+	}
+}
+
+func TestBuilderAllocBadAlignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two alignment")
+		}
+	}()
+	NewBuilder("align").Alloc(8, 3)
+}
+
+func TestBuilderDataInit(t *testing.T) {
+	b := NewBuilder("data")
+	a := b.Alloc(32, 8)
+	b.SetWord64(a, 0x1122334455667788)
+	b.SetWord32(a+8, 0xdeadbeef)
+	b.SetByte(a+12, 0x7f)
+	b.SetFloat64(a+16, 3.5)
+	b.SetBytes(a+24, []byte{1, 2, 3})
+	b.Halt()
+	p := b.MustBuild()
+	if len(p.Data) != 1 {
+		t.Fatalf("segments = %d, want 1", len(p.Data))
+	}
+	seg := p.Data[0]
+	if seg.Base != a {
+		t.Errorf("segment base %#x, want %#x", seg.Base, a)
+	}
+	if seg.Bytes[0] != 0x88 || seg.Bytes[7] != 0x11 {
+		t.Error("SetWord64 wrong byte order")
+	}
+	if seg.Bytes[8] != 0xef {
+		t.Error("SetWord32 wrong")
+	}
+	if seg.Bytes[12] != 0x7f {
+		t.Error("SetByte wrong")
+	}
+	if seg.Bytes[24] != 1 || seg.Bytes[26] != 3 {
+		t.Error("SetBytes wrong")
+	}
+}
+
+func TestBuilderDataOutsideAllocationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for initialization outside allocations")
+		}
+	}()
+	b := NewBuilder("oob")
+	a := b.Alloc(8, 8)
+	b.SetWord64(a+4, 1) // straddles the end of the allocation
+}
+
+func TestBuilderEntry(t *testing.T) {
+	b := NewBuilder("entry")
+	b.Nop()
+	b.Entry()
+	b.Halt()
+	p := b.MustBuild()
+	if p.Entry != 1 {
+		t.Errorf("entry = %d, want 1", p.Entry)
+	}
+}
+
+func TestProgramValidateBranchTarget(t *testing.T) {
+	p := &Program{Name: "bad", Code: []Inst{{Op: J, Imm: 99}}}
+	if err := p.Validate(); err == nil {
+		t.Error("expected branch-target validation error")
+	}
+}
+
+func TestProgramValidateEmpty(t *testing.T) {
+	p := &Program{Name: "empty"}
+	if err := p.Validate(); err == nil {
+		t.Error("expected error for empty program")
+	}
+}
+
+func TestProgramValidateOverlappingSegments(t *testing.T) {
+	p := &Program{
+		Name: "overlap",
+		Code: []Inst{{Op: Halt}},
+		Data: []Segment{
+			{Base: 0x1000, Bytes: make([]byte, 16)},
+			{Base: 0x1008, Bytes: make([]byte, 16)},
+		},
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("expected overlap validation error")
+	}
+}
+
+func TestProgramSaveLoadRoundTrip(t *testing.T) {
+	b := NewBuilder("rt")
+	a := b.Alloc(16, 8)
+	b.SetWord64(a, 42)
+	b.Li(R(1), 7)
+	b.Label("l")
+	b.Addi(R(1), R(1), -1)
+	b.Bne(R(1), R(0), "l")
+	b.Halt()
+	p := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || len(q.Code) != len(p.Code) || q.Entry != p.Entry {
+		t.Errorf("round trip mismatch: %+v vs %+v", q, p)
+	}
+	for i := range p.Code {
+		if p.Code[i] != q.Code[i] {
+			t.Errorf("code[%d]: %v != %v", i, p.Code[i], q.Code[i])
+		}
+	}
+	if !bytes.Equal(p.Data[0].Bytes, q.Data[0].Bytes) {
+		t.Error("data mismatch after round trip")
+	}
+}
+
+func TestProgramClone(t *testing.T) {
+	b := NewBuilder("clone")
+	b.Li(R(1), 1)
+	b.Halt()
+	p := b.MustBuild()
+	q := p.Clone()
+	q.Code[0].Imm = 99
+	if p.Code[0].Imm == 99 {
+		t.Error("Clone must deep-copy code")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob")); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestBuilderAllocAt(t *testing.T) {
+	b := NewBuilder("at")
+	base := b.AllocAt(0x40000, 128)
+	if base != 0x40000 {
+		t.Errorf("AllocAt returned %#x", base)
+	}
+	b.SetWord64(0x40000+120, 5)
+	b.Halt()
+	p := b.MustBuild()
+	found := false
+	for _, s := range p.Data {
+		if s.Base == 0x40000 && len(s.Bytes) == 128 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("AllocAt segment missing")
+	}
+}
+
+func TestProgramDisassemble(t *testing.T) {
+	b := NewBuilder("dis")
+	a := b.Alloc(32, 8)
+	b.Li(R(1), int64(a))
+	b.Label("top")
+	b.Addi(R(1), R(1), 1)
+	b.Bne(R(1), R(0), "top")
+	b.Halt()
+	p := b.MustBuild()
+	var sb bytes.Buffer
+	if err := p.Disassemble(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`program "dis"`, ".data", "addi r1, r1, 1", "L:", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}

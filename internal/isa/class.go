@@ -1,0 +1,88 @@
+package isa
+
+// Class identifies the functional-unit class that executes an operation.
+// The classes and their latencies follow Table 1 of the paper.
+type Class uint8
+
+const (
+	// ClassNone is the class of Nop/Halt; such operations consume an issue
+	// slot but no functional unit.
+	ClassNone Class = iota
+	// ClassIntALU executes integer add/logic/shift/compare and branches.
+	ClassIntALU
+	// ClassIntMul executes integer multiplies.
+	ClassIntMul
+	// ClassIntDiv executes integer divides and remainders (unpipelined).
+	ClassIntDiv
+	// ClassFPAdd executes FP add/subtract/compare/convert.
+	ClassFPAdd
+	// ClassFPMul executes FP multiplies.
+	ClassFPMul
+	// ClassFPDiv executes FP divides (unpipelined).
+	ClassFPDiv
+	// ClassLoad is the load/store unit servicing loads (address generation).
+	ClassLoad
+	// ClassStore is the load/store unit servicing stores (address generation).
+	ClassStore
+
+	// NumClasses is the number of distinct classes, for table sizing.
+	NumClasses
+)
+
+// Latency describes a functional unit's timing: Total is the operation
+// latency in cycles (result available Total cycles after issue), and Issue is
+// the number of cycles before the unit can accept another operation
+// (Issue == Total means unpipelined).
+type Latency struct {
+	Total int
+	Issue int
+}
+
+// latencies mirrors Table 1 of the paper ("Functional Unit Latency
+// (total/issue)"): integer ALU 1/1, integer MULT 3/1, integer DIV 12/12,
+// FP adder 2/1, FP MULT 4/1, FP DIV 12/12, load/store 1/1.
+var latencies = [NumClasses]Latency{
+	ClassNone:   {Total: 1, Issue: 1},
+	ClassIntALU: {Total: 1, Issue: 1},
+	ClassIntMul: {Total: 3, Issue: 1},
+	ClassIntDiv: {Total: 12, Issue: 12},
+	ClassFPAdd:  {Total: 2, Issue: 1},
+	ClassFPMul:  {Total: 4, Issue: 1},
+	ClassFPDiv:  {Total: 12, Issue: 12},
+	ClassLoad:   {Total: 1, Issue: 1},
+	ClassStore:  {Total: 1, Issue: 1},
+}
+
+// LatencyOf returns the Table 1 latency for a functional-unit class.
+func LatencyOf(c Class) Latency {
+	if c >= NumClasses {
+		return Latency{Total: 1, Issue: 1}
+	}
+	return latencies[c]
+}
+
+// String returns a short name for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassIntALU:
+		return "int-alu"
+	case ClassIntMul:
+		return "int-mul"
+	case ClassIntDiv:
+		return "int-div"
+	case ClassFPAdd:
+		return "fp-add"
+	case ClassFPMul:
+		return "fp-mul"
+	case ClassFPDiv:
+		return "fp-div"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	default:
+		return "class(?)"
+	}
+}

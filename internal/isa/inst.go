@@ -1,0 +1,78 @@
+package isa
+
+import "fmt"
+
+// Inst is one static instruction. Operand meaning depends on the opcode
+// format (see the Op documentation). Imm holds immediates, load/store
+// offsets, and resolved branch targets (absolute code indices).
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int64
+}
+
+// Sources returns the registers the instruction reads. Absent operands and
+// the hardwired zero register are returned as RegNone so they never create
+// dependencies.
+func (in Inst) Sources() (a, b Reg) {
+	dep := func(r Reg) Reg {
+		if !r.Valid() || r.IsZero() {
+			return RegNone
+		}
+		return r
+	}
+	switch in.Op {
+	case Nop, Halt, J, Jal, Li:
+		return RegNone, RegNone
+	case Addi, Andi, Ori, Xori, Slli, Srli, Srai, Slti,
+		Lb, Lbu, Lw, Lwu, Ld, Fld, Jr,
+		FNeg, FAbs, CvtIF, CvtFI:
+		return dep(in.Rs1), RegNone
+	default:
+		return dep(in.Rs1), dep(in.Rs2)
+	}
+}
+
+// Dest returns the register the instruction writes, or RegNone. Writes to
+// the hardwired zero register are reported as RegNone.
+func (in Inst) Dest() Reg {
+	if in.Op.IsStore() || in.Op.IsBranch() && in.Op != Jal {
+		return RegNone
+	}
+	switch in.Op {
+	case Nop, Halt, J, Jr:
+		return RegNone
+	}
+	if !in.Rd.Valid() || in.Rd.IsZero() {
+		return RegNone
+	}
+	return in.Rd
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	switch {
+	case in.Op == Nop || in.Op == Halt:
+		return in.Op.String()
+	case in.Op == Li:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case in.Op.IsLoad():
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case in.Op.IsStore():
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case in.Op == J:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	case in.Op == Jal:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case in.Op == Jr:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs1)
+	case in.Op == Beq || in.Op == Bne || in.Op == Blt || in.Op == Bge:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case in.Rs2 == RegNone:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+}

@@ -1,0 +1,193 @@
+package isa
+
+import "fmt"
+
+// Op is an operation code.
+type Op uint8
+
+// Operation codes. Formats:
+//
+//	R-type:  op rd, rs1, rs2
+//	I-type:  op rd, rs1, imm
+//	Load:    op rd, imm(rs1)
+//	Store:   op rs2, imm(rs1)     (rs2 holds the value to store)
+//	Branch:  op rs1, rs2, target  (target is an absolute code index)
+//	Jump:    op target            (Jal also writes rd; Jr jumps to rs1)
+const (
+	Nop Op = iota
+
+	// Integer ALU, register-register.
+	Add
+	Sub
+	And
+	Or
+	Xor
+	Sll
+	Srl
+	Sra
+	Slt  // rd = (rs1 < rs2) signed ? 1 : 0
+	Sltu // rd = (rs1 < rs2) unsigned ? 1 : 0
+
+	// Integer ALU, register-immediate.
+	Addi
+	Andi
+	Ori
+	Xori
+	Slli
+	Srli
+	Srai
+	Slti
+	Li // rd = imm (pseudo, one ALU op)
+
+	// Integer multiply/divide.
+	Mul
+	Div // signed; division by zero yields all-ones quotient (no trap)
+	Rem
+
+	// Floating point (operands in F registers unless noted).
+	FAdd
+	FSub
+	FMul
+	FDiv
+	FNeg
+	FAbs
+	CvtIF  // rd(F) = float64(rs1 int)
+	CvtFI  // rd(int) = int64(rs1 F), truncating
+	FCmpLT // rd(int) = (rs1 F < rs2 F) ? 1 : 0
+
+	// Memory. L* sign-extend unless U-suffixed; sizes are 1, 4, 8 bytes.
+	Lb
+	Lbu
+	Lw
+	Lwu
+	Ld
+	Fld // load 8 bytes into an F register
+	Sb
+	Sw
+	Sd
+	Fsd // store 8 bytes from an F register
+
+	// Control transfer. Targets are absolute code indices.
+	Beq
+	Bne
+	Blt // signed
+	Bge // signed
+	J
+	Jal // rd = index of next instruction; jump to target
+	Jr  // jump to code index in rs1
+
+	// Halt stops the program.
+	Halt
+
+	// NumOps is the number of opcodes, for table sizing.
+	NumOps
+)
+
+// opInfo is static metadata about an opcode.
+type opInfo struct {
+	name  string
+	class Class
+}
+
+var opTable = [NumOps]opInfo{
+	Nop:    {"nop", ClassNone},
+	Add:    {"add", ClassIntALU},
+	Sub:    {"sub", ClassIntALU},
+	And:    {"and", ClassIntALU},
+	Or:     {"or", ClassIntALU},
+	Xor:    {"xor", ClassIntALU},
+	Sll:    {"sll", ClassIntALU},
+	Srl:    {"srl", ClassIntALU},
+	Sra:    {"sra", ClassIntALU},
+	Slt:    {"slt", ClassIntALU},
+	Sltu:   {"sltu", ClassIntALU},
+	Addi:   {"addi", ClassIntALU},
+	Andi:   {"andi", ClassIntALU},
+	Ori:    {"ori", ClassIntALU},
+	Xori:   {"xori", ClassIntALU},
+	Slli:   {"slli", ClassIntALU},
+	Srli:   {"srli", ClassIntALU},
+	Srai:   {"srai", ClassIntALU},
+	Slti:   {"slti", ClassIntALU},
+	Li:     {"li", ClassIntALU},
+	Mul:    {"mul", ClassIntMul},
+	Div:    {"div", ClassIntDiv},
+	Rem:    {"rem", ClassIntDiv},
+	FAdd:   {"fadd", ClassFPAdd},
+	FSub:   {"fsub", ClassFPAdd},
+	FMul:   {"fmul", ClassFPMul},
+	FDiv:   {"fdiv", ClassFPDiv},
+	FNeg:   {"fneg", ClassFPAdd},
+	FAbs:   {"fabs", ClassFPAdd},
+	CvtIF:  {"cvt.i.f", ClassFPAdd},
+	CvtFI:  {"cvt.f.i", ClassFPAdd},
+	FCmpLT: {"fcmplt", ClassFPAdd},
+	Lb:     {"lb", ClassLoad},
+	Lbu:    {"lbu", ClassLoad},
+	Lw:     {"lw", ClassLoad},
+	Lwu:    {"lwu", ClassLoad},
+	Ld:     {"ld", ClassLoad},
+	Fld:    {"fld", ClassLoad},
+	Sb:     {"sb", ClassStore},
+	Sw:     {"sw", ClassStore},
+	Sd:     {"sd", ClassStore},
+	Fsd:    {"fsd", ClassStore},
+	Beq:    {"beq", ClassIntALU},
+	Bne:    {"bne", ClassIntALU},
+	Blt:    {"blt", ClassIntALU},
+	Bge:    {"bge", ClassIntALU},
+	J:      {"j", ClassIntALU},
+	Jal:    {"jal", ClassIntALU},
+	Jr:     {"jr", ClassIntALU},
+	Halt:   {"halt", ClassNone},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op < NumOps }
+
+// String returns the assembly mnemonic.
+func (op Op) String() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// ClassOf returns the functional-unit class executing op.
+func (op Op) ClassOf() Class {
+	if !op.Valid() {
+		return ClassNone
+	}
+	return opTable[op].class
+}
+
+// IsLoad reports whether op reads memory.
+func (op Op) IsLoad() bool { return op.ClassOf() == ClassLoad }
+
+// IsStore reports whether op writes memory.
+func (op Op) IsStore() bool { return op.ClassOf() == ClassStore }
+
+// IsMem reports whether op accesses memory.
+func (op Op) IsMem() bool { return op.IsLoad() || op.IsStore() }
+
+// IsBranch reports whether op may transfer control.
+func (op Op) IsBranch() bool {
+	switch op {
+	case Beq, Bne, Blt, Bge, J, Jal, Jr:
+		return true
+	}
+	return false
+}
+
+// MemSize returns the access width in bytes for memory operations, or 0.
+func (op Op) MemSize() int {
+	switch op {
+	case Lb, Lbu, Sb:
+		return 1
+	case Lw, Lwu, Sw:
+		return 4
+	case Ld, Fld, Sd, Fsd:
+		return 8
+	}
+	return 0
+}

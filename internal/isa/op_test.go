@@ -1,0 +1,150 @@
+package isa
+
+import "testing"
+
+func TestOpTableComplete(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		if op.String() == "" {
+			t.Errorf("op %d has no mnemonic", op)
+		}
+	}
+}
+
+func TestOpClasses(t *testing.T) {
+	cases := []struct {
+		op    Op
+		class Class
+	}{
+		{Add, ClassIntALU}, {Slt, ClassIntALU}, {Li, ClassIntALU},
+		{Mul, ClassIntMul}, {Div, ClassIntDiv}, {Rem, ClassIntDiv},
+		{FAdd, ClassFPAdd}, {FSub, ClassFPAdd}, {FCmpLT, ClassFPAdd},
+		{FMul, ClassFPMul}, {FDiv, ClassFPDiv},
+		{Lw, ClassLoad}, {Fld, ClassLoad},
+		{Sw, ClassStore}, {Fsd, ClassStore},
+		{Beq, ClassIntALU}, {J, ClassIntALU}, {Jr, ClassIntALU},
+		{Nop, ClassNone}, {Halt, ClassNone},
+	}
+	for _, c := range cases {
+		if got := c.op.ClassOf(); got != c.class {
+			t.Errorf("%s.ClassOf() = %s, want %s", c.op, got, c.class)
+		}
+	}
+}
+
+func TestOpMemPredicates(t *testing.T) {
+	loads := []Op{Lb, Lbu, Lw, Lwu, Ld, Fld}
+	stores := []Op{Sb, Sw, Sd, Fsd}
+	for _, op := range loads {
+		if !op.IsLoad() || op.IsStore() || !op.IsMem() {
+			t.Errorf("%s: wrong load predicates", op)
+		}
+	}
+	for _, op := range stores {
+		if !op.IsStore() || op.IsLoad() || !op.IsMem() {
+			t.Errorf("%s: wrong store predicates", op)
+		}
+	}
+	if Add.IsMem() {
+		t.Error("add must not be a memory op")
+	}
+}
+
+func TestOpMemSize(t *testing.T) {
+	cases := map[Op]int{
+		Lb: 1, Lbu: 1, Sb: 1,
+		Lw: 4, Lwu: 4, Sw: 4,
+		Ld: 8, Fld: 8, Sd: 8, Fsd: 8,
+		Add: 0, Beq: 0,
+	}
+	for op, want := range cases {
+		if got := op.MemSize(); got != want {
+			t.Errorf("%s.MemSize() = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestOpIsBranch(t *testing.T) {
+	branches := []Op{Beq, Bne, Blt, Bge, J, Jal, Jr}
+	for _, op := range branches {
+		if !op.IsBranch() {
+			t.Errorf("%s.IsBranch() = false", op)
+		}
+	}
+	for _, op := range []Op{Add, Lw, Sw, Halt, Nop} {
+		if op.IsBranch() {
+			t.Errorf("%s.IsBranch() = true", op)
+		}
+	}
+}
+
+func TestInvalidOp(t *testing.T) {
+	bad := Op(250)
+	if bad.Valid() {
+		t.Error("Op(250).Valid() = true")
+	}
+	if bad.ClassOf() != ClassNone {
+		t.Error("invalid op should report ClassNone")
+	}
+}
+
+func TestInstSources(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		a, b Reg
+	}{
+		{Inst{Op: Add, Rd: R(1), Rs1: R(2), Rs2: R(3)}, R(2), R(3)},
+		{Inst{Op: Addi, Rd: R(1), Rs1: R(2), Imm: 4}, R(2), RegNone},
+		{Inst{Op: Li, Rd: R(1), Imm: 9}, RegNone, RegNone},
+		{Inst{Op: Lw, Rd: R(1), Rs1: R(2)}, R(2), RegNone},
+		{Inst{Op: Sw, Rs1: R(2), Rs2: R(3)}, R(2), R(3)},
+		{Inst{Op: Add, Rd: R(1), Rs1: R(0), Rs2: R(3)}, RegNone, R(3)}, // r0 never a dep
+		{Inst{Op: J, Imm: 0}, RegNone, RegNone},
+		{Inst{Op: Jr, Rs1: R(5)}, R(5), RegNone},
+	}
+	for _, c := range cases {
+		a, b := c.in.Sources()
+		if a != c.a || b != c.b {
+			t.Errorf("%s: Sources() = (%s,%s), want (%s,%s)", c.in, a, b, c.a, c.b)
+		}
+	}
+}
+
+func TestInstDest(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want Reg
+	}{
+		{Inst{Op: Add, Rd: R(1), Rs1: R(2), Rs2: R(3)}, R(1)},
+		{Inst{Op: Add, Rd: R(0), Rs1: R(2), Rs2: R(3)}, RegNone}, // r0 writes discarded
+		{Inst{Op: Sw, Rs1: R(2), Rs2: R(3)}, RegNone},
+		{Inst{Op: Beq, Rs1: R(1), Rs2: R(2)}, RegNone},
+		{Inst{Op: Jal, Rd: R(31)}, R(31)},
+		{Inst{Op: J}, RegNone},
+		{Inst{Op: Lw, Rd: R(7), Rs1: R(2)}, R(7)},
+		{Inst{Op: Halt}, RegNone},
+	}
+	for _, c := range cases {
+		if got := c.in.Dest(); got != c.want {
+			t.Errorf("%s: Dest() = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: Add, Rd: R(1), Rs1: R(2), Rs2: R(3)}, "add r1, r2, r3"},
+		{Inst{Op: Lw, Rd: R(1), Rs1: R(2), Imm: 8}, "lw r1, 8(r2)"},
+		{Inst{Op: Sw, Rs2: R(3), Rs1: R(2), Imm: -4}, "sw r3, -4(r2)"},
+		{Inst{Op: Beq, Rs1: R(1), Rs2: R(2), Imm: 10}, "beq r1, r2, 10"},
+		{Inst{Op: Halt}, "halt"},
+		{Inst{Op: Li, Rd: R(4), Imm: 77}, "li r4, 77"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

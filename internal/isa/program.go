@@ -1,0 +1,132 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Segment is a contiguous chunk of initialized data memory.
+type Segment struct {
+	Base  uint64
+	Bytes []byte
+}
+
+// Program is a complete executable: code, initial data image, and entry
+// point. Programs are immutable once built.
+type Program struct {
+	Name  string
+	Code  []Inst
+	Data  []Segment
+	Entry int
+}
+
+// Validate checks structural invariants: a non-empty code section, an entry
+// point inside the code, branch targets inside the code, register operands in
+// range, and non-overlapping data segments.
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("isa: program %q has no code", p.Name)
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Code) {
+		return fmt.Errorf("isa: program %q entry %d outside code [0,%d)", p.Name, p.Entry, len(p.Code))
+	}
+	for pc, in := range p.Code {
+		if !in.Op.Valid() {
+			return fmt.Errorf("isa: program %q pc %d: invalid opcode %d", p.Name, pc, uint8(in.Op))
+		}
+		if in.Op.IsBranch() && in.Op != Jr {
+			if in.Imm < 0 || in.Imm >= int64(len(p.Code)) {
+				return fmt.Errorf("isa: program %q pc %d: %s target %d outside code [0,%d)",
+					p.Name, pc, in.Op, in.Imm, len(p.Code))
+			}
+		}
+		for _, r := range []Reg{in.Rd, in.Rs1, in.Rs2} {
+			if r != RegNone && !r.Valid() {
+				return fmt.Errorf("isa: program %q pc %d: invalid register %d", p.Name, pc, uint8(r))
+			}
+		}
+	}
+	for i, s := range p.Data {
+		for j := i + 1; j < len(p.Data); j++ {
+			t := p.Data[j]
+			if s.Base < t.Base+uint64(len(t.Bytes)) && t.Base < s.Base+uint64(len(s.Bytes)) {
+				return fmt.Errorf("isa: program %q: data segments %d and %d overlap", p.Name, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// DataBytes returns the total number of initialized data bytes.
+func (p *Program) DataBytes() int {
+	n := 0
+	for _, s := range p.Data {
+		n += len(s.Bytes)
+	}
+	return n
+}
+
+// Save serializes the program to w.
+func (p *Program) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(p); err != nil {
+		return fmt.Errorf("isa: saving program %q: %w", p.Name, err)
+	}
+	return nil
+}
+
+// Load deserializes a program previously written by Save and validates it.
+func Load(r io.Reader) (*Program, error) {
+	var p Program
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("isa: loading program: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Disassemble writes a listing of the program: data segment summary and the
+// code with instruction indices and branch-target markers.
+func (p *Program) Disassemble(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "program %q: %d instructions, entry %d\n", p.Name, len(p.Code), p.Entry); err != nil {
+		return err
+	}
+	for _, s := range p.Data {
+		if _, err := fmt.Fprintf(w, "  .data %#x  %d bytes\n", s.Base, len(s.Bytes)); err != nil {
+			return err
+		}
+	}
+	// Collect branch targets so the listing can mark them.
+	targets := map[int]bool{}
+	for _, in := range p.Code {
+		if in.Op.IsBranch() && in.Op != Jr {
+			targets[int(in.Imm)] = true
+		}
+	}
+	for pc, in := range p.Code {
+		mark := "  "
+		if targets[pc] {
+			mark = "L:"
+		}
+		if _, err := fmt.Fprintf(w, "%s %5d  %s\n", mark, pc, in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the program.
+func (p *Program) Clone() *Program {
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		panic(err) // in-memory encode of a valid program cannot fail
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

@@ -1,0 +1,86 @@
+// Package isa defines the small MIPS-like instruction set executed by the
+// simulator: registers, opcodes, functional-unit classes and latencies,
+// instruction and program containers, and an assembler-style program builder.
+//
+// The ISA is a stand-in for the SimpleScalar PISA instruction set used by the
+// paper. It is deliberately minimal: 64-bit integer registers, 64-bit
+// floating-point registers, loads and stores of 1, 4 and 8 bytes, and the
+// arithmetic and control operations needed to express the workload kernels.
+package isa
+
+import "fmt"
+
+// Reg names a register operand. The zero value means "no register"; integer
+// registers r0..r31 occupy 1..32 (r0 is hardwired to zero), and floating
+// point registers f0..f31 occupy 33..64. Encoding "none" as zero lets
+// instruction operands default to absent.
+type Reg uint8
+
+// NumRegs is the size of a register file indexed directly by Reg.
+// Index 0 is unused ("no register").
+const NumRegs = 65
+
+const (
+	// RegNone marks an absent operand.
+	RegNone    Reg = 0
+	regIntBase     = 1
+	regFPBase      = 33
+)
+
+// R returns the integer register ri. R(0) is the hardwired zero register.
+func R(i int) Reg {
+	if i < 0 || i > 31 {
+		panic(fmt.Sprintf("isa: integer register index %d out of range", i))
+	}
+	return Reg(regIntBase + i)
+}
+
+// F returns the floating point register fi.
+func F(i int) Reg {
+	if i < 0 || i > 31 {
+		panic(fmt.Sprintf("isa: fp register index %d out of range", i))
+	}
+	return Reg(regFPBase + i)
+}
+
+// Zero is the hardwired integer zero register r0: reads return 0 and writes
+// are discarded. It never participates in dependencies.
+var Zero = R(0)
+
+// IsInt reports whether r is an integer register.
+func (r Reg) IsInt() bool { return r >= regIntBase && r < regFPBase }
+
+// IsFP reports whether r is a floating point register.
+func (r Reg) IsFP() bool { return r >= regFPBase && r < regFPBase+32 }
+
+// IsZero reports whether r is the hardwired zero register.
+func (r Reg) IsZero() bool { return r == Zero }
+
+// Valid reports whether r names an actual register (not RegNone).
+func (r Reg) Valid() bool { return r != RegNone && r < NumRegs }
+
+// Index returns the register's index within its file (0..31).
+func (r Reg) Index() int {
+	switch {
+	case r.IsInt():
+		return int(r - regIntBase)
+	case r.IsFP():
+		return int(r - regFPBase)
+	default:
+		return -1
+	}
+}
+
+// String returns the assembly name of the register, e.g. "r4" or "f12".
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r.IsInt():
+		return fmt.Sprintf("r%d", r.Index())
+	case r.IsFP():
+		return fmt.Sprintf("f%d", r.Index())
+	default:
+		return fmt.Sprintf("reg(%d)", uint8(r))
+	}
+}

@@ -1,0 +1,145 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegConstructors(t *testing.T) {
+	for i := 0; i < 32; i++ {
+		r := R(i)
+		if !r.IsInt() || r.IsFP() {
+			t.Errorf("R(%d): wrong class", i)
+		}
+		if r.Index() != i {
+			t.Errorf("R(%d).Index() = %d", i, r.Index())
+		}
+		f := F(i)
+		if !f.IsFP() || f.IsInt() {
+			t.Errorf("F(%d): wrong class", i)
+		}
+		if f.Index() != i {
+			t.Errorf("F(%d).Index() = %d", i, f.Index())
+		}
+	}
+}
+
+func TestRegZero(t *testing.T) {
+	if !R(0).IsZero() {
+		t.Error("R(0) must be the zero register")
+	}
+	if R(1).IsZero() {
+		t.Error("R(1) must not be the zero register")
+	}
+	if F(0).IsZero() {
+		t.Error("F(0) must not be the zero register")
+	}
+}
+
+func TestRegNone(t *testing.T) {
+	if RegNone.Valid() {
+		t.Error("RegNone.Valid() = true")
+	}
+	if RegNone.IsInt() || RegNone.IsFP() {
+		t.Error("RegNone must have no class")
+	}
+	if RegNone.Index() != -1 {
+		t.Errorf("RegNone.Index() = %d, want -1", RegNone.Index())
+	}
+	if RegNone.String() != "-" {
+		t.Errorf("RegNone.String() = %q", RegNone.String())
+	}
+}
+
+func TestRegOutOfRangePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { R(-1) }, func() { R(32) },
+		func() { F(-1) }, func() { F(32) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range register index")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{R(0), "r0"}, {R(31), "r31"}, {F(0), "f0"}, {F(31), "f31"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", uint8(c.r), got, c.want)
+		}
+	}
+}
+
+// Every Reg value is exactly one of: none, integer, FP, or invalid; and the
+// classes partition the valid encodings.
+func TestRegClassPartition(t *testing.T) {
+	f := func(raw uint8) bool {
+		r := Reg(raw)
+		classes := 0
+		if r.IsInt() {
+			classes++
+		}
+		if r.IsFP() {
+			classes++
+		}
+		if classes > 1 {
+			return false
+		}
+		if r.Valid() != (classes == 1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencyTableMatchesPaper(t *testing.T) {
+	cases := []struct {
+		class        Class
+		total, issue int
+	}{
+		{ClassIntALU, 1, 1},
+		{ClassIntMul, 3, 1},
+		{ClassIntDiv, 12, 12},
+		{ClassFPAdd, 2, 1},
+		{ClassFPMul, 4, 1},
+		{ClassFPDiv, 12, 12},
+		{ClassLoad, 1, 1},
+		{ClassStore, 1, 1},
+	}
+	for _, c := range cases {
+		lat := LatencyOf(c.class)
+		if lat.Total != c.total || lat.Issue != c.issue {
+			t.Errorf("LatencyOf(%s) = %d/%d, want %d/%d (Table 1)",
+				c.class, lat.Total, lat.Issue, c.total, c.issue)
+		}
+	}
+}
+
+func TestLatencyOfOutOfRange(t *testing.T) {
+	lat := LatencyOf(Class(200))
+	if lat.Total != 1 || lat.Issue != 1 {
+		t.Errorf("out-of-range class latency = %+v, want 1/1", lat)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c := ClassNone; c < NumClasses; c++ {
+		if s := c.String(); s == "" || s == "class(?)" {
+			t.Errorf("Class(%d) has no name", c)
+		}
+	}
+}

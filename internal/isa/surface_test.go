@@ -1,0 +1,133 @@
+package isa
+
+import "testing"
+
+// TestBuilderFullSurface drives every typed emitter once and checks the
+// emitted opcode sequence, covering the whole builder surface.
+func TestBuilderFullSurface(t *testing.T) {
+	b := NewBuilder("surface")
+	a := b.Alloc(64, 8)
+	r1, r2, r3 := R(1), R(2), R(3)
+	f1, f2, f3 := F(1), F(2), F(3)
+
+	b.Li(r1, int64(a))
+	b.Mov(r2, r1)
+	b.Add(r3, r1, r2)
+	b.Sub(r3, r1, r2)
+	b.And(r3, r1, r2)
+	b.Or(r3, r1, r2)
+	b.Xor(r3, r1, r2)
+	b.Sll(r3, r1, r2)
+	b.Srl(r3, r1, r2)
+	b.Sra(r3, r1, r2)
+	b.Slt(r3, r1, r2)
+	b.Sltu(r3, r1, r2)
+	b.Mul(r3, r1, r2)
+	b.Div(r3, r1, r2)
+	b.Rem(r3, r1, r2)
+	b.Addi(r3, r1, 1)
+	b.Andi(r3, r1, 1)
+	b.Ori(r3, r1, 1)
+	b.Xori(r3, r1, 1)
+	b.Slli(r3, r1, 1)
+	b.Srli(r3, r1, 1)
+	b.Srai(r3, r1, 1)
+	b.Slti(r3, r1, 1)
+	b.FAdd(f3, f1, f2)
+	b.FSub(f3, f1, f2)
+	b.FMul(f3, f1, f2)
+	b.FDiv(f3, f1, f2)
+	b.FNeg(f3, f1)
+	b.FAbs(f3, f1)
+	b.CvtIF(f3, r1)
+	b.CvtFI(r3, f1)
+	b.FCmpLT(r3, f1, f2)
+	b.Lb(r3, r1, 0)
+	b.Lbu(r3, r1, 0)
+	b.Lw(r3, r1, 0)
+	b.Lwu(r3, r1, 0)
+	b.Ld(r3, r1, 0)
+	b.Fld(f3, r1, 0)
+	b.Sb(r3, r1, 0)
+	b.Sw(r3, r1, 0)
+	b.Sd(r3, r1, 0)
+	b.Fsd(f3, r1, 0)
+	b.Label("x")
+	b.Beq(r1, r2, "x")
+	b.Bne(r1, r2, "x")
+	b.Blt(r1, r2, "x")
+	b.Bge(r1, r2, "x")
+	b.J("x")
+	b.Jal(R(31), "x")
+	b.Jr(R(31))
+	b.Nop()
+	b.Inst(Add, r3, r1, r2, 0)
+	b.BranchTo(Beq, r1, r2, "x")
+	b.Halt()
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check a few emitted opcodes and the overall count.
+	wantOps := []Op{Li, Add, Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu,
+		Mul, Div, Rem, Addi, Andi, Ori, Xori, Slli, Srli, Srai, Slti,
+		FAdd, FSub, FMul, FDiv, FNeg, FAbs, CvtIF, CvtFI, FCmpLT,
+		Lb, Lbu, Lw, Lwu, Ld, Fld, Sb, Sw, Sd, Fsd,
+		Beq, Bne, Blt, Bge, J, Jal, Jr, Nop, Add, Beq, Halt}
+	if len(p.Code) != len(wantOps) {
+		t.Fatalf("emitted %d instructions, want %d", len(p.Code), len(wantOps))
+	}
+	for i, op := range wantOps {
+		if p.Code[i].Op != op {
+			t.Errorf("code[%d] = %s, want %s", i, p.Code[i].Op, op)
+		}
+	}
+	if b.PC() != len(p.Code) {
+		t.Errorf("PC() = %d, want %d", b.PC(), len(p.Code))
+	}
+}
+
+func TestInstGenericPanics(t *testing.T) {
+	cases := []func(*Builder){
+		func(b *Builder) { b.Inst(Beq, RegNone, R(1), R(2), 0) },   // branch via Inst
+		func(b *Builder) { b.Inst(Fld, R(1), R(2), RegNone, 0) },   // int rd on fld
+		func(b *Builder) { b.Inst(Fsd, RegNone, R(1), R(2), 0) },   // int value on fsd
+		func(b *Builder) { b.Inst(FAdd, R(1), F(1), F(2), 0) },     // int rd on fadd
+		func(b *Builder) { b.Inst(CvtIF, R(1), R(2), RegNone, 0) }, // int rd on cvt.i.f
+		func(b *Builder) { b.Inst(CvtFI, F(1), F(2), RegNone, 0) }, // fp rd on cvt.f.i
+		func(b *Builder) { b.Inst(FCmpLT, F(1), F(2), F(3), 0) },   // fp rd on fcmplt
+		func(b *Builder) { b.Inst(Lw, F(1), R(2), RegNone, 0) },    // fp rd on lw
+		func(b *Builder) { b.BranchTo(J, R(1), R(2), "x") },        // J via BranchTo
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f(NewBuilder("p"))
+		}()
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic from MustBuild on undefined label")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.J("nowhere")
+	b.MustBuild()
+}
+
+func TestOpStringInvalid(t *testing.T) {
+	if Op(240).String() == "" {
+		t.Error("invalid op should still stringify")
+	}
+	if Reg(200).String() == "" {
+		t.Error("invalid reg should still stringify")
+	}
+}

@@ -1,0 +1,37 @@
+package ports
+
+import "fmt"
+
+// Ideal models true multi-porting (§3.1): every port has its own data path
+// to every entry, so up to P requests proceed per cycle regardless of the
+// relationship among their addresses. It is the performance upper bound the
+// other organizations are measured against.
+type Ideal struct {
+	ports int
+}
+
+// NewIdeal returns an ideal multi-ported arbiter with the given port count.
+func NewIdeal(ports int) (*Ideal, error) {
+	if ports < 1 {
+		return nil, fmt.Errorf("ports: ideal port count %d is not positive", ports)
+	}
+	return &Ideal{ports: ports}, nil
+}
+
+// Name implements Arbiter.
+func (a *Ideal) Name() string { return fmt.Sprintf("ideal-%d", a.ports) }
+
+// PeakWidth implements Arbiter.
+func (a *Ideal) PeakWidth() int { return a.ports }
+
+// Grant implements Arbiter: the oldest P requests win, addresses ignored.
+func (a *Ideal) Grant(_ uint64, ready []Request, dst []int) []int {
+	n := len(ready)
+	if n > a.ports {
+		n = a.ports
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}

@@ -1,0 +1,53 @@
+package ports
+
+import "fmt"
+
+// Replicated models multi-porting by replication (§3.1, DEC 21164-style):
+// each port is backed by its own complete copy of the cache. Loads proceed
+// independently, one per port, but a store must be broadcast to every copy
+// to keep them coherent, so a store occupies all ports and "cannot be sent
+// to the cache in parallel with any other access". Committed stores are the
+// oldest pending memory operations, so a pending store claims the next cycle
+// exclusively — the serialization the paper identifies as this design's
+// scalability limit.
+type Replicated struct {
+	ports int
+	// StoreCycles counts cycles consumed exclusively by store broadcasts.
+	StoreCycles uint64
+}
+
+// NewReplicated returns a replication arbiter with the given port count.
+func NewReplicated(ports int) (*Replicated, error) {
+	if ports < 1 {
+		return nil, fmt.Errorf("ports: replicated port count %d is not positive", ports)
+	}
+	return &Replicated{ports: ports}, nil
+}
+
+// Name implements Arbiter.
+func (a *Replicated) Name() string { return fmt.Sprintf("repl-%d", a.ports) }
+
+// PeakWidth implements Arbiter.
+func (a *Replicated) PeakWidth() int { return a.ports }
+
+// Grant implements Arbiter. If the oldest ready request is a store the cycle
+// is a store broadcast: that store alone is granted. Otherwise loads are
+// granted oldest-first, up to the port count, stopping at the first store
+// (loads may not pass a store broadcast once one is pending; ready lists put
+// committed stores first, so in practice a store-free prefix is granted).
+func (a *Replicated) Grant(_ uint64, ready []Request, dst []int) []int {
+	if len(ready) == 0 {
+		return dst
+	}
+	if ready[0].Store {
+		a.StoreCycles++
+		return append(dst, 0)
+	}
+	for i := 0; i < len(ready) && len(dst) < a.ports; i++ {
+		if ready[i].Store {
+			break
+		}
+		dst = append(dst, i)
+	}
+	return dst
+}

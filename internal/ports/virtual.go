@@ -1,0 +1,39 @@
+package ports
+
+import "fmt"
+
+// Virtual models time-division multiplexed multi-porting (§1: the IBM Power2
+// and DEC 21264 technique) — the cache SRAM runs P times the processor
+// clock, servicing P accesses per processor cycle with no address
+// restrictions. Within this simulator's single-clock view it grants exactly
+// like an ideal P-port cache; the difference is entirely an implementation
+// cost (an SRAM P times faster than the core), which is why the paper judges
+// the technique infeasible beyond P=2 and drops it from its evaluation. It
+// is provided to complete the paper's taxonomy and for cross-checks: a
+// Virtual(P) run must match an Ideal(P) run cycle for cycle.
+type Virtual struct {
+	ideal *Ideal
+	// ClockMultiple is the SRAM clock multiple the design implies.
+	ClockMultiple int
+}
+
+// NewVirtual returns a time-division multiplexed arbiter with the given
+// effective port count.
+func NewVirtual(ports int) (*Virtual, error) {
+	id, err := NewIdeal(ports)
+	if err != nil {
+		return nil, err
+	}
+	return &Virtual{ideal: id, ClockMultiple: ports}, nil
+}
+
+// Name implements Arbiter.
+func (a *Virtual) Name() string { return fmt.Sprintf("virt-%d", a.ClockMultiple) }
+
+// PeakWidth implements Arbiter.
+func (a *Virtual) PeakWidth() int { return a.ideal.PeakWidth() }
+
+// Grant implements Arbiter: identical selection to ideal multi-porting.
+func (a *Virtual) Grant(now uint64, ready []Request, dst []int) []int {
+	return a.ideal.Grant(now, ready, dst)
+}

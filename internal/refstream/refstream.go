@@ -1,0 +1,124 @@
+// Package refstream reproduces the paper's §4 memory-reference-stream
+// analysis (Figure 3): for consecutive memory references, how often does the
+// successor map to the same bank and same line, the same bank but a
+// different line, or each of the other banks of an infinitely large
+// line-interleaved multi-bank cache? The skew toward same-bank — and within
+// it, same-line — is the observation that motivates the LBIC.
+package refstream
+
+import (
+	"fmt"
+
+	"lbic/internal/ports"
+	"lbic/internal/trace"
+)
+
+// Distribution is the Figure 3 histogram for one program: consecutive
+// reference pairs classified by where the successor lands relative to its
+// predecessor's bank B.
+type Distribution struct {
+	Banks int
+	Pairs uint64
+	// SameBankSameLine counts successors in the same bank and same line
+	// ("B - same line").
+	SameBankSameLine uint64
+	// SameBankDiffLine counts successors in the same bank but a different
+	// line ("B - diff line") — the conflicts combining cannot remove.
+	SameBankDiffLine uint64
+	// OtherBank[i-1] counts successors in bank (B + i) mod Banks, i >= 1.
+	OtherBank []uint64
+}
+
+// Frac returns count/Pairs, or 0 before any pair.
+func (d *Distribution) frac(c uint64) float64 {
+	if d.Pairs == 0 {
+		return 0
+	}
+	return float64(c) / float64(d.Pairs)
+}
+
+// SameLineFrac returns the B-same-line fraction.
+func (d *Distribution) SameLineFrac() float64 { return d.frac(d.SameBankSameLine) }
+
+// DiffLineFrac returns the B-diff-line fraction.
+func (d *Distribution) DiffLineFrac() float64 { return d.frac(d.SameBankDiffLine) }
+
+// SameBankFrac returns the total same-bank fraction.
+func (d *Distribution) SameBankFrac() float64 {
+	return d.frac(d.SameBankSameLine + d.SameBankDiffLine)
+}
+
+// OtherBankFrac returns the fraction landing in bank (B+i) mod Banks.
+func (d *Distribution) OtherBankFrac(i int) float64 {
+	if i < 1 || i > len(d.OtherBank) {
+		return 0
+	}
+	return d.frac(d.OtherBank[i-1])
+}
+
+// Analyzer ingests a dynamic reference stream.
+type Analyzer struct {
+	sel  ports.BankSelector
+	dist Distribution
+	prev uint64
+	have bool
+}
+
+// NewAnalyzer returns an analyzer for the given bank count and line size.
+// The paper's Figure 3 uses 4 banks and 32-byte lines.
+func NewAnalyzer(banks, lineSize int) (*Analyzer, error) {
+	sel, err := ports.NewBankSelector(banks, lineSize)
+	if err != nil {
+		return nil, fmt.Errorf("refstream: %w", err)
+	}
+	return &Analyzer{
+		sel: sel,
+		dist: Distribution{
+			Banks:     banks,
+			OtherBank: make([]uint64, banks-1),
+		},
+	}, nil
+}
+
+// Note records one memory reference address.
+func (a *Analyzer) Note(addr uint64) {
+	if a.have {
+		pb, cb := a.sel.BankOf(a.prev), a.sel.BankOf(addr)
+		if pb == cb {
+			if a.sel.LineOf(a.prev) == a.sel.LineOf(addr) {
+				a.dist.SameBankSameLine++
+			} else {
+				a.dist.SameBankDiffLine++
+			}
+		} else {
+			i := (cb - pb + a.dist.Banks) % a.dist.Banks
+			a.dist.OtherBank[i-1]++
+		}
+		a.dist.Pairs++
+	}
+	a.prev = addr
+	a.have = true
+}
+
+// Distribution returns the accumulated histogram.
+func (a *Analyzer) Distribution() Distribution {
+	d := a.dist
+	d.OtherBank = append([]uint64(nil), a.dist.OtherBank...)
+	return d
+}
+
+// Analyze consumes up to maxInsts instructions from the stream and returns
+// the distribution over its memory references.
+func Analyze(s trace.Stream, banks, lineSize int, maxInsts uint64) (Distribution, error) {
+	a, err := NewAnalyzer(banks, lineSize)
+	if err != nil {
+		return Distribution{}, err
+	}
+	var d trace.Dyn
+	for n := uint64(0); n < maxInsts && s.Next(&d); n++ {
+		if d.IsMem() {
+			a.Note(d.Addr)
+		}
+	}
+	return a.Distribution(), nil
+}

@@ -1,0 +1,108 @@
+package refstream
+
+import (
+	"math"
+	"testing"
+
+	"lbic/internal/isa"
+	"lbic/internal/trace"
+)
+
+func note(t *testing.T, addrs ...uint64) Distribution {
+	t.Helper()
+	a, err := NewAnalyzer(4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ad := range addrs {
+		a.Note(ad)
+	}
+	return a.Distribution()
+}
+
+func TestSameLineClassification(t *testing.T) {
+	d := note(t, 0x100, 0x104, 0x11f)
+	if d.Pairs != 2 || d.SameBankSameLine != 2 {
+		t.Errorf("dist = %+v, want 2 same-line pairs", d)
+	}
+	if d.SameLineFrac() != 1 {
+		t.Errorf("same-line frac = %v", d.SameLineFrac())
+	}
+}
+
+func TestDiffLineClassification(t *testing.T) {
+	// 0x100 and 0x180 are 128 bytes apart: same bank (4 banks x 32B), diff line.
+	d := note(t, 0x100, 0x180)
+	if d.SameBankDiffLine != 1 {
+		t.Errorf("dist = %+v, want 1 diff-line pair", d)
+	}
+}
+
+func TestOtherBankClassification(t *testing.T) {
+	d := note(t, 0x100, 0x120, 0x160, 0x1c0, 0x1a0)
+	// 0x100->0x120: +1; 0x120->0x160: +2; 0x160->0x1c0: +3... banks are
+	// (addr>>5)&3: 0x100->0 (8&3=0), 0x120->1, 0x160->3 (+2), 0x1c0->2 (+3),
+	// 0x1a0->1 (+3).
+	if d.OtherBankFrac(1) != 0.25 {
+		t.Errorf("+1 frac = %v", d.OtherBankFrac(1))
+	}
+	if d.OtherBankFrac(2) != 0.25 {
+		t.Errorf("+2 frac = %v", d.OtherBankFrac(2))
+	}
+	if d.OtherBankFrac(3) != 0.5 {
+		t.Errorf("+3 frac = %v", d.OtherBankFrac(3))
+	}
+}
+
+func TestFractionsSumToOne(t *testing.T) {
+	addrs := []uint64{}
+	rng := uint64(12345)
+	for i := 0; i < 1000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		addrs = append(addrs, 0x10000+(rng>>33)%65536)
+	}
+	d := note(t, addrs...)
+	sum := d.SameLineFrac() + d.DiffLineFrac() +
+		d.OtherBankFrac(1) + d.OtherBankFrac(2) + d.OtherBankFrac(3)
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+	if d.Pairs != 999 {
+		t.Errorf("pairs = %d", d.Pairs)
+	}
+}
+
+func TestAnalyzeStreamFiltersMemOps(t *testing.T) {
+	dyns := []trace.Dyn{
+		{Op: isa.Add, Class: isa.ClassIntALU},
+		{Op: isa.Ld, Class: isa.ClassLoad, Addr: 0x100, Size: 8},
+		{Op: isa.Add, Class: isa.ClassIntALU},
+		{Op: isa.Sd, Class: isa.ClassStore, Addr: 0x108, Size: 8},
+	}
+	d, err := Analyze(trace.NewSliceStream(dyns), 4, 32, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Pairs != 1 || d.SameBankSameLine != 1 {
+		t.Errorf("dist = %+v", d)
+	}
+}
+
+func TestAnalyzerValidation(t *testing.T) {
+	if _, err := NewAnalyzer(3, 32); err == nil {
+		t.Error("expected bank validation error")
+	}
+	if _, err := NewAnalyzer(4, 24); err == nil {
+		t.Error("expected line-size validation error")
+	}
+}
+
+func TestEmptyDistribution(t *testing.T) {
+	d := note(t)
+	if d.SameLineFrac() != 0 || d.SameBankFrac() != 0 || d.OtherBankFrac(1) != 0 {
+		t.Error("empty distribution must report zero fractions")
+	}
+	if d.OtherBankFrac(0) != 0 || d.OtherBankFrac(9) != 0 {
+		t.Error("out-of-range OtherBankFrac must be 0")
+	}
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Demo", "A", "B")
+	tab.AddRow("x", "1")
+	tab.AddRow("yy", "22")
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "====", "A", "B", "x", "22"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := NewTable("Demo", "A", "B")
+	tab.AddRow("x", "1")
+	var sb strings.Builder
+	if err := tab.Markdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "### Demo") {
+		t.Error("missing markdown title")
+	}
+	if !strings.Contains(out, "| A | B |") {
+		t.Errorf("missing header row:\n%s", out)
+	}
+	if !strings.Contains(out, "|---|---|") {
+		t.Error("missing separator row")
+	}
+	if !strings.Contains(out, "| x | 1 |") {
+		t.Error("missing data row")
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tab := NewTable("", "A", "B")
+	tab.AddRow("only")
+	tab.AddRow("a", "b", "dropped")
+	if len(tab.Rows[0]) != 2 || tab.Rows[0][1] != "" {
+		t.Errorf("row 0 = %v", tab.Rows[0])
+	}
+	if len(tab.Rows[1]) != 2 {
+		t.Errorf("row 1 = %v", tab.Rows[1])
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tab := NewTable("", "A", "B", "C")
+	tab.AddRowf("s", 3.14159, 42)
+	if tab.Rows[0][0] != "s" {
+		t.Errorf("string cell = %q", tab.Rows[0][0])
+	}
+	if tab.Rows[0][1] != "3.142" {
+		t.Errorf("float cell = %q", tab.Rows[0][1])
+	}
+	if tab.Rows[0][2] != "42" {
+		t.Errorf("int cell = %q", tab.Rows[0][2])
+	}
+}
+
+func TestFormatIPC(t *testing.T) {
+	cases := map[float64]string{
+		6.2024: "6.202",
+		10.73:  "10.73",
+		0:      "0.000",
+	}
+	for v, want := range cases {
+		if got := FormatIPC(v); got != want {
+			t.Errorf("FormatIPC(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestFormatPct(t *testing.T) {
+	if got := FormatPct(0.354); got != "35.4%" {
+		t.Errorf("FormatPct = %q", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "A")
+	tab.AddRow("x")
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "=") {
+		t.Error("untitled table should have no underline")
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tab := NewTable("Demo", "A", "B")
+	tab.AddRow("x", "1")
+	var sb strings.Builder
+	if err := tab.JSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"title": "Demo"`, `"headers"`, `"x"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("json missing %s:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package trace defines the dynamic instruction stream that connects the
+// functional emulator to the timing core. The paper's processor model has a
+// perfect front end (perfect I-cache and branch prediction, §2.1) and its
+// reported results carry no speculation effect (§2.2), so the committed path
+// produced by functional-first execution is exactly the stream the timing
+// model must process.
+package trace
+
+import "lbic/internal/isa"
+
+// Dyn is one dynamic (executed) instruction.
+type Dyn struct {
+	// Seq is the dynamic instruction number, starting at 0.
+	Seq uint64
+	// PC is the static code index the instruction came from.
+	PC int
+	// Op is the opcode; Class caches Op.ClassOf().
+	Op    isa.Op
+	Class isa.Class
+	// Src1, Src2 are source register dependencies (RegNone if absent).
+	Src1, Src2 isa.Reg
+	// Dst is the destination register (RegNone if absent).
+	Dst isa.Reg
+	// Addr and Size describe the memory access of loads and stores.
+	Addr uint64
+	Size uint8
+}
+
+// IsLoad reports whether the instruction reads memory.
+func (d *Dyn) IsLoad() bool { return d.Class == isa.ClassLoad }
+
+// IsStore reports whether the instruction writes memory.
+func (d *Dyn) IsStore() bool { return d.Class == isa.ClassStore }
+
+// IsMem reports whether the instruction accesses memory.
+func (d *Dyn) IsMem() bool { return d.IsLoad() || d.IsStore() }
+
+// Stream supplies dynamic instructions in program order.
+type Stream interface {
+	// Next fills d with the next dynamic instruction and reports whether one
+	// was available. Once Next returns false the stream is exhausted.
+	Next(d *Dyn) bool
+}
+
+// SliceStream adapts a pre-built []Dyn to a Stream; tests use it to drive
+// the timing core with hand-crafted sequences.
+type SliceStream struct {
+	insts []Dyn
+	pos   int
+}
+
+// NewSliceStream returns a Stream yielding the given instructions. Seq
+// fields are renumbered to be consecutive from 0.
+func NewSliceStream(insts []Dyn) *SliceStream {
+	for i := range insts {
+		insts[i].Seq = uint64(i)
+		if insts[i].Class == isa.ClassNone && insts[i].Op != isa.Nop && insts[i].Op != isa.Halt {
+			insts[i].Class = insts[i].Op.ClassOf()
+		}
+	}
+	return &SliceStream{insts: insts}
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next(d *Dyn) bool {
+	if s.pos >= len(s.insts) {
+		return false
+	}
+	*d = s.insts[s.pos]
+	s.pos++
+	return true
+}
+
+// Limit wraps a stream, cutting it off after n instructions.
+type Limit struct {
+	S Stream
+	N uint64
+
+	seen uint64
+}
+
+// Next implements Stream.
+func (l *Limit) Next(d *Dyn) bool {
+	if l.seen >= l.N {
+		return false
+	}
+	if !l.S.Next(d) {
+		return false
+	}
+	l.seen++
+	return true
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"testing"
+
+	"lbic/internal/isa"
+)
+
+func TestSliceStreamRenumbersAndYields(t *testing.T) {
+	s := NewSliceStream([]Dyn{
+		{Op: isa.Add, Seq: 99},
+		{Op: isa.Lw, Seq: 99},
+	})
+	var d Dyn
+	if !s.Next(&d) || d.Seq != 0 {
+		t.Errorf("first = %+v", d)
+	}
+	if !s.Next(&d) || d.Seq != 1 {
+		t.Errorf("second = %+v", d)
+	}
+	if d.Class != isa.ClassLoad {
+		t.Errorf("class not backfilled: %v", d.Class)
+	}
+	if s.Next(&d) {
+		t.Error("stream should be exhausted")
+	}
+}
+
+func TestDynPredicates(t *testing.T) {
+	ld := Dyn{Class: isa.ClassLoad}
+	st := Dyn{Class: isa.ClassStore}
+	al := Dyn{Class: isa.ClassIntALU}
+	if !ld.IsLoad() || !ld.IsMem() || ld.IsStore() {
+		t.Error("load predicates wrong")
+	}
+	if !st.IsStore() || !st.IsMem() || st.IsLoad() {
+		t.Error("store predicates wrong")
+	}
+	if al.IsMem() {
+		t.Error("alu is not mem")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	s := NewSliceStream(make([]Dyn, 10))
+	l := &Limit{S: s, N: 3}
+	var d Dyn
+	n := 0
+	for l.Next(&d) {
+		n++
+	}
+	if n != 3 {
+		t.Errorf("limit yielded %d, want 3", n)
+	}
+}
+
+func TestLimitShortStream(t *testing.T) {
+	s := NewSliceStream(make([]Dyn, 2))
+	l := &Limit{S: s, N: 10}
+	var d Dyn
+	n := 0
+	for l.Next(&d) {
+		n++
+	}
+	if n != 2 {
+		t.Errorf("limit yielded %d, want 2", n)
+	}
+}

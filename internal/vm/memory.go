@@ -1,0 +1,165 @@
+// Package vm provides the sparse, paged, byte-addressable memory image used
+// by the functional emulator. Pages are allocated on first touch; reads of
+// untouched memory return zero. A small guard region at the bottom of the
+// address space faults, so null-pointer bugs in workload kernels surface
+// immediately instead of silently reading zeroes.
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+const (
+	// PageBits is log2 of the page size.
+	PageBits = 12
+	// PageSize is the allocation granule in bytes.
+	PageSize = 1 << PageBits
+	pageMask = PageSize - 1
+
+	// GuardLimit is the top of the faulting guard region: accesses below it
+	// panic with a Fault.
+	GuardLimit = 0x1000
+)
+
+// Fault describes an invalid memory access.
+type Fault struct {
+	Addr uint64
+	Size int
+	Why  string
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("vm: fault accessing %d bytes at %#x: %s", f.Size, f.Addr, f.Why)
+}
+
+// Memory is a sparse paged memory image. It is not safe for concurrent use.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+	// hot is a one-entry translation cache; workload loops hammer one or two
+	// pages and this avoids most map lookups.
+	hotPage uint64
+	hotBuf  *[PageSize]byte
+}
+
+// NewMemory returns an empty memory image.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte), hotPage: ^uint64(0)}
+}
+
+func (m *Memory) page(pn uint64) *[PageSize]byte {
+	if pn == m.hotPage {
+		return m.hotBuf
+	}
+	p := m.pages[pn]
+	if p == nil {
+		p = new([PageSize]byte)
+		m.pages[pn] = p
+	}
+	m.hotPage, m.hotBuf = pn, p
+	return p
+}
+
+func (m *Memory) check(addr uint64, size int) {
+	if addr < GuardLimit {
+		panic(&Fault{Addr: addr, Size: size, Why: "guard region"})
+	}
+	if addr+uint64(size) < addr {
+		panic(&Fault{Addr: addr, Size: size, Why: "address wraparound"})
+	}
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint64) byte {
+	m.check(addr, 1)
+	return m.page(addr >> PageBits)[addr&pageMask]
+}
+
+// StoreByte stores v at addr.
+func (m *Memory) StoreByte(addr uint64, v byte) {
+	m.check(addr, 1)
+	m.page(addr >> PageBits)[addr&pageMask] = v
+}
+
+// Read returns size bytes at addr as a little-endian unsigned value.
+// Size must be 1, 2, 4 or 8.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	m.check(addr, size)
+	off := addr & pageMask
+	if off+uint64(size) <= PageSize {
+		buf := m.page(addr >> PageBits)[off:]
+		switch size {
+		case 1:
+			return uint64(buf[0])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(buf))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(buf))
+		case 8:
+			return binary.LittleEndian.Uint64(buf)
+		}
+		panic(&Fault{Addr: addr, Size: size, Why: "unsupported access size"})
+	}
+	// Page-straddling access: assemble byte by byte.
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.LoadByte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores the low size bytes of v at addr, little-endian.
+// Size must be 1, 2, 4 or 8.
+func (m *Memory) Write(addr uint64, size int, v uint64) {
+	m.check(addr, size)
+	off := addr & pageMask
+	if off+uint64(size) <= PageSize {
+		buf := m.page(addr >> PageBits)[off:]
+		switch size {
+		case 1:
+			buf[0] = byte(v)
+		case 2:
+			binary.LittleEndian.PutUint16(buf, uint16(v))
+		case 4:
+			binary.LittleEndian.PutUint32(buf, uint32(v))
+		case 8:
+			binary.LittleEndian.PutUint64(buf, v)
+		default:
+			panic(&Fault{Addr: addr, Size: size, Why: "unsupported access size"})
+		}
+		return
+	}
+	for i := 0; i < size; i++ {
+		m.StoreByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// Copy initializes a run of bytes starting at addr.
+func (m *Memory) Copy(addr uint64, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	m.check(addr, len(data))
+	for len(data) > 0 {
+		off := addr & pageMask
+		n := copy(m.page(addr >> PageBits)[off:], data)
+		addr += uint64(n)
+		data = data[n:]
+	}
+}
+
+// Pages returns the number of allocated pages.
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// Footprint returns the allocated page numbers in ascending order; tests use
+// it to verify working-set sizes.
+func (m *Memory) Footprint() []uint64 {
+	pns := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	return pns
+}

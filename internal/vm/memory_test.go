@@ -1,0 +1,155 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := NewMemory()
+	cases := []struct {
+		addr uint64
+		size int
+		v    uint64
+	}{
+		{0x10000, 1, 0xab},
+		{0x10001, 2, 0xbeef},
+		{0x10010, 4, 0xdeadbeef},
+		{0x10020, 8, 0x1122334455667788},
+	}
+	for _, c := range cases {
+		m.Write(c.addr, c.size, c.v)
+		if got := m.Read(c.addr, c.size); got != c.v {
+			t.Errorf("Read(%#x,%d) = %#x, want %#x", c.addr, c.size, got, c.v)
+		}
+	}
+}
+
+func TestUntouchedMemoryReadsZero(t *testing.T) {
+	m := NewMemory()
+	if got := m.Read(0x500000, 8); got != 0 {
+		t.Errorf("untouched read = %#x, want 0", got)
+	}
+}
+
+func TestPageStraddlingAccess(t *testing.T) {
+	m := NewMemory()
+	addr := uint64(2*PageSize - 3) // 3 bytes in one page, 5 in the next
+	v := uint64(0x0102030405060708)
+	m.Write(addr, 8, v)
+	if got := m.Read(addr, 8); got != v {
+		t.Errorf("straddling read = %#x, want %#x", got, v)
+	}
+	// Byte-level check across the boundary.
+	if m.LoadByte(addr) != 0x08 {
+		t.Error("first byte wrong")
+	}
+	if m.LoadByte(addr+7) != 0x01 {
+		t.Error("last byte wrong")
+	}
+}
+
+func TestGuardRegionFaults(t *testing.T) {
+	m := NewMemory()
+	defer func() {
+		f, ok := recover().(*Fault)
+		if !ok {
+			t.Fatal("expected *Fault panic")
+		}
+		if f.Addr != 0x10 {
+			t.Errorf("fault addr = %#x", f.Addr)
+		}
+		if f.Error() == "" {
+			t.Error("fault must describe itself")
+		}
+	}()
+	m.Read(0x10, 4)
+}
+
+func TestWraparoundFaults(t *testing.T) {
+	m := NewMemory()
+	defer func() {
+		if _, ok := recover().(*Fault); !ok {
+			t.Fatal("expected *Fault panic")
+		}
+	}()
+	m.Write(^uint64(0)-2, 8, 1)
+}
+
+func TestCopyAcrossPages(t *testing.T) {
+	m := NewMemory()
+	data := make([]byte, 3*PageSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	base := uint64(0x10000) + PageSize/2
+	m.Copy(base, data)
+	for _, off := range []int{0, 1, PageSize, 2*PageSize + 100, len(data) - 1} {
+		if got := m.LoadByte(base + uint64(off)); got != data[off] {
+			t.Fatalf("byte %d = %#x, want %#x", off, got, data[off])
+		}
+	}
+}
+
+func TestPagesAndFootprint(t *testing.T) {
+	m := NewMemory()
+	m.StoreByte(0x10000, 1)
+	m.StoreByte(0x10000+PageSize, 1)
+	m.StoreByte(0x10000, 2) // same page again
+	if m.Pages() != 2 {
+		t.Errorf("Pages() = %d, want 2", m.Pages())
+	}
+	fp := m.Footprint()
+	if len(fp) != 2 || fp[0] != 0x10000>>PageBits || fp[1] != (0x10000+PageSize)>>PageBits {
+		t.Errorf("Footprint() = %v", fp)
+	}
+}
+
+func TestHotPageCacheCoherent(t *testing.T) {
+	m := NewMemory()
+	m.Write(0x10000, 8, 1) // page A becomes hot
+	m.Write(0x90000, 8, 2) // page B becomes hot
+	if m.Read(0x10000, 8) != 1 {
+		t.Error("page A lost its value after hot-page switch")
+	}
+	if m.Read(0x90000, 8) != 2 {
+		t.Error("page B lost its value")
+	}
+}
+
+// Writing then reading any (addr, size, value) pair round-trips the value's
+// low bytes, for all supported sizes.
+func TestReadWriteQuick(t *testing.T) {
+	m := NewMemory()
+	f := func(addrRaw uint64, sizeSel uint8, v uint64) bool {
+		addr := GuardLimit + addrRaw%(1<<30)
+		size := []int{1, 2, 4, 8}[sizeSel%4]
+		m.Write(addr, size, v)
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = (1 << (8 * size)) - 1
+		}
+		return m.Read(addr, size) == v&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Two non-overlapping writes do not disturb each other.
+func TestWriteIsolationQuick(t *testing.T) {
+	f := func(aRaw, bRaw uint64, va, vb uint64) bool {
+		m := NewMemory()
+		a := GuardLimit + (aRaw%(1<<26))*16
+		b := GuardLimit + (bRaw%(1<<26))*16
+		if a == b {
+			return true
+		}
+		m.Write(a, 8, va)
+		m.Write(b, 8, vb)
+		return m.Read(a, 8) == va && m.Read(b, 8) == vb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package workload
+
+import "lbic/internal/isa"
+
+// goKernel models SPEC95 099.go: evaluation of board positions — byte loads
+// from a small resident board with neighbor inspection, heavy branching on
+// cell contents, influence-map read-modify-writes, a move-history push, and
+// periodic lookups in a large pattern library. go is the least
+// memory-intensive SPECint program (28.7% memory instructions,
+// store-to-load ratio 0.36, 2.7% miss rate): most work is integer compute
+// and control flow over resident data.
+func init() {
+	register(Info{
+		Name:  "go",
+		Suite: "int",
+		Build: buildGo,
+		Description: "board-position evaluation: neighbor byte loads on a " +
+			"resident board, branchy liberty counting, influence-map " +
+			"read-modify-writes, periodic cold pattern-library probes",
+		PaperMemPct:      28.7,
+		PaperStoreToLoad: 0.36,
+		PaperMissRate:    0.0271,
+	})
+}
+
+const (
+	goBoardBase = 0x10_0000
+	goBoardSize = 2 << 10   // 2KB board with sentinel ring, resident
+	goInflBase  = 0x20_0800 // skewed: disjoint L1 sets from the board
+	goInflSize  = 8 << 10   // influence map, resident
+	goHistBase  = 0x28_2800 // skewed past the influence map's sets
+	goHistSize  = 4 << 10   // move history ring
+	goPatBase   = 0x30_0000
+	goPatSize   = 256 << 10 // pattern library, cold
+	goHashMul   = 0x85EB_CA77
+)
+
+func buildGo() *isa.Program {
+	b := isa.NewBuilder("go")
+	b.AllocAt(goBoardBase, goBoardSize)
+	rng := newPRNG(0x60)
+	for i := 0; i < goBoardSize; i++ {
+		b.SetByte(goBoardBase+uint64(i), byte(rng.intn(3))) // empty/black/white
+	}
+	b.AllocAt(goInflBase, goInflSize)
+	b.AllocAt(goHistBase, goHistSize)
+	b.AllocAt(goPatBase, goPatSize)
+
+	var (
+		rI     = isa.R(1)
+		rBoard = isa.R(2)
+		rInfl  = isa.R(3)
+		rPat   = isa.R(4)
+		rMul   = isa.R(5)
+		rHist  = isa.R(6)
+		rIdx   = isa.R(7)
+		rC     = isa.R(8)
+		rN1    = isa.R(9)
+		rT     = isa.R(10)
+		rU     = isa.R(11)
+		rT1    = isa.R(13)
+		rAcc   = isa.R(12)
+		rN     = isa.R(31)
+	)
+
+	b.Li(rI, 0)
+	b.Li(rBoard, goBoardBase)
+	b.Li(rInfl, goInflBase)
+	b.Li(rHist, goHistBase)
+	b.Li(rPat, goPatBase)
+	b.Li(rMul, goHashMul)
+	b.Li(rAcc, 0)
+	b.Li(rN, 1<<40)
+
+	b.Label("loop")
+	// Pick a pseudo-random interior point from the iteration counter.
+	b.Mul(rIdx, rI, rMul)
+	b.Andi(rIdx, rIdx, goBoardSize-64) // keep sentinel headroom
+	b.Add(rIdx, rBoard, rIdx)
+	// Inspect the cell and one neighbor; a second ring only when they clash.
+	b.Lbu(rC, rIdx, 33)
+	b.Lbu(rN1, rIdx, 32)
+	b.Add(rT, rC, rN1)
+	b.Beq(rC, rN1, "calm")
+	b.Lbu(rU, rIdx, 1) // second-ring look
+	b.Xor(rT, rT, rU)
+	b.Slli(rT, rT, 1)
+	b.Label("calm")
+	b.Add(rAcc, rAcc, rT)
+	// Influence-map read-modify-write for the evaluated point.
+	b.Andi(rT, rIdx, goInflSize-4)
+	b.Add(rT, rInfl, rT)
+	b.Lw(rU, rT, 0)
+	b.Add(rU, rU, rAcc)
+	b.Sw(rU, rT, 0)
+	// Consult the most recent history entry, then record a move every
+	// fourth evaluation.
+	b.Lw(rT1, rHist, 0)
+	b.Add(rAcc, rAcc, rT1)
+	b.Andi(rT, rI, 1)
+	b.Bne(rT, isa.Zero, "nohist")
+	b.Sw(rAcc, rHist, 0)
+	b.Addi(rHist, rHist, 4)
+	b.Andi(rHist, rHist, goHistBase|(goHistSize-1))
+	b.Label("nohist")
+	// Every 16th evaluation consults the cold pattern library.
+	b.Andi(rT, rI, 15)
+	b.Bne(rT, isa.Zero, "nopat")
+	b.Mul(rT, rAcc, rMul)
+	b.Andi(rT, rT, goPatSize-8)
+	b.Add(rT, rPat, rT)
+	b.Ld(rT, rT, 0)
+	b.Add(rAcc, rAcc, rT)
+	b.Label("nopat")
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "loop")
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,152 @@
+package workload
+
+import "lbic/internal/isa"
+
+// mgridKernel models SPEC95 107.mgrid: the 27-point stencil of the multigrid
+// smoother over a 3D grid. Each point reads 27 neighbors and writes one
+// result, giving mgrid its extreme load dominance (store-to-load ratio 0.04,
+// the lowest in SPEC95) and massive data parallelism — the reason it scales
+// best with ideal ports in the paper (18.6 IPC at 16 ports). Nine row base
+// addresses are computed per (i,j) pair, and the inner k loop streams along
+// rows, so consecutive references hit the same line three at a time.
+func init() {
+	register(Info{
+		Name:  "mgrid",
+		Suite: "fp",
+		Build: buildMgrid,
+		Description: "27-point multigrid smoother over a 3D grid: 27 loads and " +
+			"one store per point, row-streaming with heavy line reuse",
+		PaperMemPct:      36.8,
+		PaperStoreToLoad: 0.04,
+		PaperMissRate:    0.0402,
+	})
+}
+
+const (
+	mgridN        = 48 // grid edge: 48^3 doubles ≈ 864KB per array
+	mgridRowBytes = mgridN * 8
+	mgridPlane    = mgridN * mgridRowBytes
+	mgridUBase    = 0x100_0000 // source grid
+	mgridRBase    = 0x200_0D00 // result grid, skewed to disjoint L1 sets
+)
+
+func buildMgrid() *isa.Program {
+	b := isa.NewBuilder("mgrid")
+	b.AllocAt(mgridUBase, mgridN*mgridPlane)
+	b.AllocAt(mgridRBase, mgridN*mgridPlane)
+	rng := newPRNG(0x369)
+	// Seed one plane; values propagate as the smoother iterates.
+	for j := 0; j < mgridN; j++ {
+		for k := 0; k < mgridN; k++ {
+			b.SetFloat64(mgridUBase+uint64(j*mgridRowBytes+k*8),
+				float64(rng.intn(997))/997)
+		}
+	}
+
+	var (
+		rI    = isa.R(1) // plane index base address (&u[i][0][0])
+		rJ    = isa.R(2) // row address within the plane (&u[i][j][0])
+		rOff  = isa.R(3) // byte offset along k
+		rEnd  = isa.R(4)
+		rRes  = isa.R(5)  // &r[i][j][0]
+		rT    = isa.R(20) // scratch address
+		rILim = isa.R(29)
+		rJLim = isa.R(30)
+	)
+	// Nine row bases: rows (di, dj) for di,dj in {-1,0,1}.
+	rowReg := func(n int) isa.Reg { return isa.R(6 + n) } // r6..r14
+
+	coeff := b.Alloc(32, 8)
+	b.SetFloat64(coeff, 1.0/6)
+	b.SetFloat64(coeff+8, 1.0/12)
+	b.SetFloat64(coeff+16, 1.0/24)
+	b.SetFloat64(coeff+24, 0.5)
+	fC0, fC1, fC2, fC3 := isa.F(0), isa.F(1), isa.F(2), isa.F(3)
+	fRes := isa.F(4) // loop-carried residual chain
+	b.Li(rT, int64(coeff))
+	b.Fld(fC0, rT, 0)
+	b.Fld(fC1, rT, 8)
+	b.Fld(fC2, rT, 16)
+	b.Fld(fC3, rT, 24)
+
+	b.Label("sweep")
+	b.Li(rI, mgridUBase+mgridPlane)
+	b.Li(rILim, mgridUBase+int64(mgridN-2)*mgridPlane)
+
+	b.Label("planes")
+	b.Addi(rJ, rI, mgridRowBytes)
+	b.Addi(rJLim, rI, (mgridN-2)*mgridRowBytes)
+
+	b.Label("rows")
+	// Compute the nine row bases for (i±1, j±1).
+	n := 0
+	for di := -1; di <= 1; di++ {
+		for dj := -1; dj <= 1; dj++ {
+			b.Addi(rowReg(n), rJ, int64(di)*mgridPlane+int64(dj)*mgridRowBytes)
+			n++
+		}
+	}
+	// Result row: r + (rJ - u).
+	b.Li(rT, mgridRBase-mgridUBase)
+	b.Add(rRes, rJ, rT)
+	b.Li(rOff, 8)
+	b.Li(rEnd, mgridRowBytes-8)
+
+	b.Label("k")
+	// 27 loads: three per row (k-1, k, k+1), summed in three weight groups:
+	// center row gets c0 on its middle element, faces c1, edges/corners c2.
+	fSumF, fSumE, fSumC := isa.F(8), isa.F(9), isa.F(10)
+	fA, fB2, fC4 := isa.F(11), isa.F(12), isa.F(13)
+	fCtr, fT := isa.F(14), isa.F(15)
+	first := true
+	for row := 0; row < 9; row++ {
+		b.Add(rT, rowReg(row), rOff)
+		b.Fld(fA, rT, -8)
+		b.Fld(fB2, rT, 0)
+		b.Fld(fC4, rT, 8)
+		center := row == 4
+		if center {
+			b.FAdd(fT, fA, fC4)    // faces along k
+			b.FAdd(fCtr, fB2, fB2) // center value (doubled, rescaled below)
+		} else {
+			b.FAdd(fT, fA, fC4)
+			b.FAdd(fT, fT, fB2)
+		}
+		if first {
+			b.FSub(fSumF, fT, fT) // zero the group accumulators
+			b.FSub(fSumE, fT, fT)
+			b.FAdd(fSumC, fT, fSumF)
+			first = false
+		} else {
+			switch {
+			case center:
+				b.FAdd(fSumF, fSumF, fT)
+			case row%2 == 1: // face-adjacent rows
+				b.FAdd(fSumE, fSumE, fT)
+			default: // corner rows
+				b.FAdd(fSumC, fSumC, fT)
+			}
+		}
+	}
+	b.FMul(fSumF, fSumF, fC0)
+	b.FMul(fSumE, fSumE, fC1)
+	b.FMul(fSumC, fSumC, fC2)
+	b.FMul(fCtr, fCtr, fC3)
+	b.FAdd(fSumF, fSumF, fSumE)
+	b.FAdd(fSumC, fSumC, fCtr)
+	b.FAdd(fSumF, fSumF, fSumC)
+	b.Add(rT, rRes, rOff)
+	b.Fsd(fSumF, rT, 0)
+	// Two chained residual adds bound the loop ILP near the paper's level.
+	b.FAdd(fRes, fRes, fSumF)
+	b.FAdd(fRes, fRes, fSumC)
+	b.Addi(rOff, rOff, 8)
+	b.Blt(rOff, rEnd, "k")
+
+	b.Addi(rJ, rJ, mgridRowBytes)
+	b.Blt(rJ, rJLim, "rows")
+	b.Addi(rI, rI, mgridPlane)
+	b.Blt(rI, rILim, "planes")
+	b.J("sweep")
+	return b.MustBuild()
+}

@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"fmt"
+
+	"lbic/internal/isa"
+)
+
+// Synthetic access-pattern microbenchmarks. Unlike the SPEC95-like kernels,
+// these isolate one reference-stream property each, so a port organization's
+// response can be read off directly: unit strides reward any banking,
+// same-line bursts reward combining, single-bank strides defeat bit
+// selection, random streams behave statistically, and pointer chases remove
+// memory parallelism altogether.
+
+// PatternInfo describes one microbenchmark pattern.
+type PatternInfo struct {
+	Name        string
+	Description string
+	Build       func() *isa.Program
+}
+
+var patterns = []PatternInfo{
+	{
+		Name: "unit-stride",
+		Description: "sequential 8-byte loads with one store per four loads; " +
+			"the friendliest stream for every organization",
+		Build: func() *isa.Program { return buildStride("unit-stride", 8, 1<<20, 4) },
+	},
+	{
+		Name: "line-stride",
+		Description: "loads one cache line apart: consecutive references " +
+			"always change bank under bit selection",
+		Build: func() *isa.Program { return buildStride("line-stride", 32, 16<<10, 4) }, // resident: isolates port behaviour
+	},
+	{
+		Name: "bank-stride",
+		Description: "loads 128 bytes apart: every reference maps to the " +
+			"same bank of a 4-bank bit-selected cache (the pathological " +
+			"stride), though pseudo-random selection spreads it",
+		Build: func() *isa.Program { return buildStride("bank-stride", 128, 16<<10, 4) }, // resident: isolates port behaviour
+	},
+	{
+		Name: "same-line-burst",
+		Description: "four references to each line before moving on: the " +
+			"pattern access combining exists for",
+		Build: buildSameLineBurst,
+	},
+	{
+		Name: "random",
+		Description: "uniform pseudo-random loads over 1MB: statistically " +
+			"balanced banks, ~100% misses, the multi-bank design's best case",
+		Build: buildRandom,
+	},
+	{
+		Name: "pointer-chase",
+		Description: "a serial dependent chain through an 8KB ring: no " +
+			"memory parallelism for any organization to exploit",
+		Build: buildChase,
+	},
+	{
+		Name: "store-burst",
+		Description: "three stores per load over a resident region: the " +
+			"replicated design's worst case",
+		Build: buildStoreBurst,
+	},
+}
+
+// Patterns lists the access-pattern microbenchmarks.
+func Patterns() []PatternInfo {
+	out := make([]PatternInfo, len(patterns))
+	copy(out, patterns)
+	return out
+}
+
+// PatternByName finds a microbenchmark pattern.
+func PatternByName(name string) (PatternInfo, bool) {
+	for _, p := range patterns {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PatternInfo{}, false
+}
+
+const patBase = 0x100_0000
+
+// buildStride emits independent loads at the given byte stride over a
+// region, with one store per storeEvery loads (0 = no stores). Iterations
+// are unrolled four ways so ample parallelism reaches the memory system.
+func buildStride(name string, stride int64, region int, storeEvery int) *isa.Program {
+	b := isa.NewBuilder(name)
+	b.AllocAt(patBase, region)
+	var (
+		rP   = isa.R(1)
+		rEnd = isa.R(2)
+	)
+	// One accumulator per unrolled lane: a single accumulator would chain
+	// four one-cycle adds per iteration and hide every port effect.
+	acc := func(k int) isa.Reg { return isa.R(8 + k) }
+	b.Li(rP, patBase)
+	b.Li(rEnd, patBase+int64(region)-4*stride)
+	b.Label("loop")
+	for k := 0; k < 4; k++ {
+		r := isa.R(4 + k)
+		b.Ld(r, rP, int64(k)*stride)
+		b.Add(acc(k), acc(k), r)
+		if storeEvery > 0 && k == 3 {
+			b.Sd(acc(k), rP, int64(k)*stride) // write back the line just read
+		}
+	}
+	b.Addi(rP, rP, 4*stride)
+	b.Blt(rP, rEnd, "loop")
+	b.Li(rP, patBase)
+	b.J("loop")
+	return b.MustBuild()
+}
+
+// buildSameLineBurst touches each 32-byte line with four references (three
+// loads and a store) before advancing.
+func buildSameLineBurst() *isa.Program {
+	b := isa.NewBuilder("same-line-burst")
+	region := 16 << 10 // resident: isolates the combining effect
+	b.AllocAt(patBase, region)
+	var (
+		rP   = isa.R(1)
+		rEnd = isa.R(2)
+		rAcc = isa.R(3)
+	)
+	b.Li(rP, patBase)
+	b.Li(rEnd, patBase+int64(region)-64)
+	b.Label("loop")
+	for k := 0; k < 2; k++ { // two lines per iteration
+		off := int64(k) * 32
+		b.Ld(isa.R(4), rP, off)
+		b.Ld(isa.R(5), rP, off+8)
+		b.Ld(isa.R(6), rP, off+16)
+		b.Add(rAcc, isa.R(4), isa.R(5))
+		b.Sd(rAcc, rP, off+24)
+	}
+	b.Addi(rP, rP, 64)
+	b.Blt(rP, rEnd, "loop")
+	b.Li(rP, patBase)
+	b.J("loop")
+	return b.MustBuild()
+}
+
+// buildRandom emits independent pseudo-random loads over 1MB via a multiply
+// hash of the iteration counter (no load-to-address chains, so misses
+// overlap freely).
+func buildRandom() *isa.Program {
+	b := isa.NewBuilder("random")
+	region := 1 << 20
+	b.AllocAt(patBase, region)
+	var (
+		rI   = isa.R(1)
+		rMul = isa.R(2)
+		rB   = isa.R(3)
+		rN   = isa.R(31)
+	)
+	acc := func(k int) isa.Reg { return isa.R(13 + k) }
+	b.Li(rI, 0)
+	b.Li(rMul, 0x9E3779B97F4A7C15-1<<63) // golden-ratio constant, wrapped to int64
+	b.Li(rB, patBase)
+	b.Li(rN, 1<<40)
+	b.Label("loop")
+	for k := 0; k < 4; k++ {
+		rT := isa.R(5 + 2*k)
+		rV := isa.R(6 + 2*k)
+		b.Addi(rT, rI, int64(k))
+		b.Mul(rT, rT, rMul)
+		b.Srli(rT, rT, 24)
+		b.Andi(rT, rT, int64(region-8))
+		b.Add(rT, rB, rT)
+		b.Ld(rV, rT, 0)
+		b.Add(acc(k), acc(k), rV)
+	}
+	b.Addi(rI, rI, 4)
+	b.Blt(rI, rN, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildChase walks a pre-linked pointer ring: each load's address is the
+// previous load's data, so at most one access is ever ready.
+func buildChase() *isa.Program {
+	b := isa.NewBuilder("pointer-chase")
+	const cells = 512 // 8KB ring, resident
+	b.AllocAt(patBase, cells*16)
+	rng := newPRNG(0xCAFE)
+	// Random permutation cycle so hardware prefetch-like regularity is absent.
+	perm := make([]int, cells)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := cells - 1; i > 0; i-- {
+		j := int(rng.intn(uint64(i + 1)))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := 0; i < cells; i++ {
+		from, to := perm[i], perm[(i+1)%cells]
+		b.SetWord64(patBase+uint64(from*16), uint64(patBase+to*16))
+	}
+	var (
+		rP = isa.R(1)
+		rN = isa.R(31)
+		rI = isa.R(2)
+	)
+	b.Li(rP, patBase+int64(perm[0])*16)
+	b.Li(rI, 0)
+	b.Li(rN, 1<<40)
+	b.Label("loop")
+	b.Ld(rP, rP, 0) // the chain
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildStoreBurst emits three stores per load over a resident region, all
+// with pointer-chained addresses.
+func buildStoreBurst() *isa.Program {
+	b := isa.NewBuilder("store-burst")
+	region := 16 << 10
+	b.AllocAt(patBase, region)
+	var (
+		rP   = isa.R(1)
+		rEnd = isa.R(2)
+		rV   = isa.R(3)
+	)
+	b.Li(rP, patBase)
+	b.Li(rEnd, patBase+int64(region)-64)
+	b.Label("loop")
+	b.Ld(rV, rP, 0)
+	b.Sd(rV, rP, 64)
+	b.Sd(rV, rP, 128)
+	b.Sd(rV, rP, 192)
+	b.Addi(rP, rP, 8)
+	b.Blt(rP, rEnd, "loop")
+	b.Li(rP, patBase)
+	b.J("loop")
+	return b.MustBuild()
+}
+
+// String returns the pattern's name for display.
+func (p PatternInfo) String() string { return fmt.Sprintf("%s: %s", p.Name, p.Description) }

@@ -1,0 +1,40 @@
+package workload
+
+// prng is a small deterministic xorshift64* generator used to synthesize
+// kernel input data (compressed streams, particle positions, pointer pools).
+// Workloads must be reproducible run to run, so kernels never depend on
+// wall-clock or math/rand global state.
+type prng struct{ s uint64 }
+
+func newPRNG(seed uint64) *prng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &prng{s: seed}
+}
+
+func (p *prng) next() uint64 {
+	p.s ^= p.s >> 12
+	p.s ^= p.s << 25
+	p.s ^= p.s >> 27
+	return p.s * 0x2545f4914f6cdd1d
+}
+
+// intn returns a value in [0, n).
+func (p *prng) intn(n uint64) uint64 { return p.next() % n }
+
+// byteStream fills a buffer with skewed pseudo-random bytes (a rough stand-in
+// for English-ish text with repeated symbols, as a compressor would see).
+func (p *prng) byteStream(n int) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		v := p.next()
+		// Skew toward a small alphabet: half the bytes from 16 hot symbols.
+		if v&1 == 0 {
+			buf[i] = byte(97 + (v>>1)%16)
+		} else {
+			buf[i] = byte(v >> 3)
+		}
+	}
+	return buf
+}

@@ -1,0 +1,125 @@
+package workload
+
+import "lbic/internal/isa"
+
+// wave5Kernel models SPEC95 146.wave5: a particle-in-cell plasma step.
+// Particle coordinates and velocities stream sequentially; each particle
+// gathers field values from a grid cell derived from its coordinate,
+// updates them (scatter-add), and advances its position. Because particles
+// are spatially sorted with jitter, grid accesses show windowed locality —
+// wave5's 11% miss rate sits between the streaming and resident extremes.
+// Table 2 targets: 31.6% memory instructions, store-to-load ratio 0.39.
+func init() {
+	register(Info{
+		Name:  "wave5",
+		Suite: "fp",
+		Build: buildWave5,
+		Description: "particle-in-cell step: sequential particle streams, " +
+			"jittered windowed gather/scatter into a field grid",
+		PaperMemPct:      31.6,
+		PaperStoreToLoad: 0.39,
+		PaperMissRate:    0.1103,
+	})
+}
+
+const (
+	waveParts    = 64 << 10 // particles per sweep
+	waveXBase    = 0x100_0000
+	waveVBase    = 0x200_0D00 // skewed: disjoint L1 sets from X
+	waveGridBase = 0x300_1A00 // skewed past V's sets
+	waveGridSize = 512 << 10  // field grid
+	waveWindow   = 32 << 10   // jitter window within the grid
+	waveDepBase  = 0x400_2700 // deposit buffer (skewed sets)
+	waveDepSize  = 2 << 10
+)
+
+func buildWave5() *isa.Program {
+	b := isa.NewBuilder("wave5")
+	b.AllocAt(waveXBase, waveParts*8)
+	b.AllocAt(waveVBase, waveParts*8)
+	b.AllocAt(waveGridBase, waveGridSize)
+	b.AllocAt(waveDepBase, waveDepSize)
+	rng := newPRNG(0x3435)
+	// Sorted positions with jitter: position ~ particle index scaled, so the
+	// gather window slides as the particle loop advances.
+	for i := 0; i < waveParts; i++ {
+		pos := float64(i)*float64(waveGridSize)/float64(waveParts) +
+			float64(rng.intn(waveWindow))
+		b.SetFloat64(waveXBase+uint64(8*i), pos)
+		b.SetFloat64(waveVBase+uint64(8*i), float64(rng.intn(997))/997-0.5)
+	}
+
+	var (
+		rP    = isa.R(1) // particle cursor (byte offset)
+		rEnd  = isa.R(2)
+		rX    = isa.R(3)
+		rV    = isa.R(4)
+		rGrid = isa.R(5)
+		rC    = isa.R(6) // cell address
+		rDep  = isa.R(8) // deposit buffer cursor
+		rT    = isa.R(7)
+	)
+	fX, fV, fE1, fE2 := isa.F(0), isa.F(1), isa.F(2), isa.F(3)
+	fDT, fQ := isa.F(4), isa.F(5)
+	fT1, fT2 := isa.F(6), isa.F(7)
+	fEn := isa.F(8) // loop-carried energy accumulation
+
+	coeff := b.Alloc(16, 8)
+	b.SetFloat64(coeff, 0.0078125) // dt
+	b.SetFloat64(coeff+8, 1.5)     // charge weight
+	b.Li(rT, int64(coeff))
+	b.Fld(fDT, rT, 0)
+	b.Fld(fQ, rT, 8)
+	b.Li(rX, waveXBase)
+	b.Li(rV, waveVBase)
+	b.Li(rGrid, waveGridBase)
+	b.Li(rDep, waveDepBase)
+
+	b.Label("sweep")
+	b.Li(rP, 0)
+	b.Li(rEnd, waveParts*8)
+
+	b.Label("part")
+	b.Add(rT, rX, rP)
+	b.Fld(fX, rT, 0) // position (sequential)
+	b.Add(rT, rV, rP)
+	b.Fld(fV, rT, 0) // velocity (sequential)
+	// Cell index from the position: windowed locality.
+	b.CvtFI(rC, fX)
+	b.Andi(rC, rC, (waveGridSize-32)&^7) // bound and 8-byte align
+	b.Add(rC, rGrid, rC)
+	// Gather three field values from the cell's line.
+	b.Fld(fE1, rC, 0)
+	b.Fld(fE2, rC, 8)
+	b.Fld(fT2, rC, 16)
+	b.FAdd(fE2, fE2, fT2)
+	// Field update and scatter-add.
+	b.FMul(fT1, fV, fQ)
+	b.FAdd(fE1, fE1, fT1)
+	b.FSub(fE2, fE2, fT1)
+	// Deposit buffering: the charge contribution is appended to a small
+	// sequential deposit buffer (applied to the grid in bulk by a later
+	// phase), a standard particle-in-cell optimization. The deposit
+	// store's address is pointer-chained and thus known immediately; a
+	// scatter store aimed at the gathered cell would hang its address off
+	// this particle's position load and serialize the whole reference
+	// stream through the Table 1 memory-ordering rule.
+	b.Fsd(fE1, rDep, 0)
+	b.Addi(rDep, rDep, 8)
+	b.Andi(rDep, rDep, waveDepBase|(waveDepSize-8))
+	// Particle push.
+	b.FMul(fT2, fE2, fDT)
+	b.FAdd(fV, fV, fT2)
+	b.FMul(fT2, fV, fDT)
+	b.FAdd(fX, fX, fT2)
+	b.Add(rT, rX, rP)
+	b.Fsd(fX, rT, 0) // position update (hits: same line as the load)
+	// Energy accumulation (loop-carried).
+	b.FMul(fT1, fV, fV)
+	b.FAdd(fEn, fEn, fT1)
+	b.FAdd(fEn, fEn, fT2)
+	b.Addi(rP, rP, 8)
+	b.Blt(rP, rEnd, "part")
+	b.J("sweep")
+	return b.MustBuild()
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"testing"
+
+	"lbic/internal/emu"
+	"lbic/internal/trace"
+)
+
+const charInsts = 400_000
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	want := []string{
+		"compress", "gcc", "go", "li", "perl",
+		"hydro2d", "mgrid", "su2cor", "swim", "wave5",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("kernels = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("kernel %d = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("compress"); !ok {
+		t.Error("compress not found")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("nonesuch should not resolve")
+	}
+}
+
+func TestAllKernelsBuildAndValidate(t *testing.T) {
+	for _, in := range All() {
+		in := in
+		t.Run(in.Name, func(t *testing.T) {
+			p := in.Build()
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if p.Name != in.Name {
+				t.Errorf("program name %q != kernel name %q", p.Name, in.Name)
+			}
+		})
+	}
+}
+
+func TestAllKernelsRunWithoutFault(t *testing.T) {
+	for _, in := range All() {
+		in := in
+		t.Run(in.Name, func(t *testing.T) {
+			m, err := emu.New(in.Build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var d trace.Dyn
+			for i := 0; i < charInsts; i++ {
+				if !m.Next(&d) {
+					t.Fatalf("kernel halted after %d instructions; kernels must run indefinitely", i)
+				}
+			}
+		})
+	}
+}
+
+func TestKernelsDeterministic(t *testing.T) {
+	in, _ := ByName("compress")
+	s1, err := Characterize(in.Build(), 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Characterize(in.Build(), 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Errorf("characterization not deterministic: %+v vs %+v", s1, s2)
+	}
+}
+
+// within checks |got-want| <= tol*want (relative tolerance).
+func within(got, want, tol float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*want
+}
+
+// TestTable2Characteristics verifies each kernel approximates its SPEC95
+// namesake's published memory behaviour (Table 2 of the paper). Tolerances
+// are deliberately loose — these are synthetic stand-ins — but tight enough
+// that a regression in a kernel's structure is caught.
+func TestTable2Characteristics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is slow")
+	}
+	for _, in := range All() {
+		in := in
+		t.Run(in.Name, func(t *testing.T) {
+			s, err := Characterize(in.Build(), charInsts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%-9s mem%%=%5.1f (paper %5.1f)  s/l=%4.2f (paper %4.2f)  miss=%6.4f (paper %6.4f)",
+				in.Name, s.MemPct, in.PaperMemPct, s.StoreToLoad, in.PaperStoreToLoad,
+				s.MissRate, in.PaperMissRate)
+			if !within(s.MemPct, in.PaperMemPct, 0.25) {
+				t.Errorf("mem%% = %.1f, paper %.1f (tolerance 25%%)", s.MemPct, in.PaperMemPct)
+			}
+			if !within(s.StoreToLoad, in.PaperStoreToLoad, 0.35) {
+				t.Errorf("store/load = %.2f, paper %.2f (tolerance 35%%)", s.StoreToLoad, in.PaperStoreToLoad)
+			}
+			// Miss rates get a wide band: same order of magnitude and regime.
+			if s.MissRate > 3*in.PaperMissRate+0.01 || s.MissRate < in.PaperMissRate/4 {
+				t.Errorf("miss rate = %.4f, paper %.4f (outside [x/4, 3x+0.01])",
+					s.MissRate, in.PaperMissRate)
+			}
+		})
+	}
+}

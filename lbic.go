@@ -1,0 +1,440 @@
+// Package lbic is a from-scratch reproduction of "On High-Bandwidth Data
+// Cache Design for Multi-Issue Processors" (Rivers, Tyson, Davidson, Austin —
+// MICRO-30, 1997): an execution-driven simulator of a wide out-of-order
+// processor whose L1 data-cache port organization is pluggable — ideal
+// multi-ported, replicated, multi-banked, or the paper's Locality-Based
+// Interleaved Cache (LBIC) — together with ten synthetic SPEC95-like
+// workloads and drivers that regenerate every table and figure of the
+// paper's evaluation.
+//
+// The typical flow:
+//
+//	prog, _ := lbic.BuildBenchmark("compress")
+//	cfg := lbic.DefaultConfig()
+//	cfg.Port = lbic.LBICPort(4, 2) // a 4x2 LBIC
+//	cfg.MaxInsts = 1_000_000
+//	res, _ := lbic.Simulate(prog, cfg)
+//	fmt.Println(res.IPC)
+package lbic
+
+import (
+	"fmt"
+
+	"lbic/internal/cache"
+	"lbic/internal/core"
+	"lbic/internal/cpu"
+	"lbic/internal/emu"
+	"lbic/internal/isa"
+	"lbic/internal/ports"
+	"lbic/internal/refstream"
+	"lbic/internal/trace"
+	"lbic/internal/vm"
+	"lbic/internal/workload"
+)
+
+// Re-exported building blocks, so applications need only this package.
+type (
+	// Program is an executable for the simulator's MIPS-like ISA.
+	Program = isa.Program
+	// Builder assembles custom Programs.
+	Builder = isa.Builder
+	// Reg names a register operand.
+	Reg = isa.Reg
+	// CPUConfig sets the processor window/width parameters (Table 1).
+	CPUConfig = cpu.Config
+	// CPUStats reports per-run processor activity.
+	CPUStats = cpu.Stats
+	// MemParams sets the cache hierarchy geometry and latencies (Table 1).
+	MemParams = cache.Params
+	// MemStats reports cache hierarchy activity.
+	MemStats = cache.Stats
+	// Geometry describes one cache level.
+	Geometry = cache.Geometry
+	// BenchmarkInfo describes one of the ten SPEC95-like kernels.
+	BenchmarkInfo = workload.Info
+	// BenchmarkStats is a kernel's measured Table 2 characteristics.
+	BenchmarkStats = workload.Stats
+	// Distribution is a Figure 3 consecutive-reference histogram.
+	Distribution = refstream.Distribution
+	// LBICStats reports combining activity of an LBIC run.
+	LBICStats = core.Stats
+)
+
+// NewBuilder starts assembling a custom program.
+func NewBuilder(name string) *Builder { return isa.NewBuilder(name) }
+
+// R names integer register i (R(0) is hardwired zero).
+func R(i int) Reg { return isa.R(i) }
+
+// F names floating-point register i.
+func F(i int) Reg { return isa.F(i) }
+
+// PortKind selects the L1 port organization under test.
+type PortKind int
+
+const (
+	// Ideal is true multi-porting: Width accesses per cycle, any addresses.
+	Ideal PortKind = iota
+	// Replicated keeps Width full cache copies; stores broadcast and cannot
+	// pair with other accesses (DEC 21164 style).
+	Replicated
+	// Banked is a traditional line-interleaved multi-bank cache with Banks
+	// single-ported banks (MIPS R10000 style).
+	Banked
+	// LBIC is the paper's contribution: Banks banks, each with an
+	// N-ported single-line buffer combining up to LinePorts same-line
+	// accesses per cycle.
+	LBIC
+	// VirtualMultiport is time-division multiplexing (IBM Power2 / DEC
+	// 21264 style): the SRAM runs Width times the core clock. Its grant
+	// behaviour is identical to Ideal — the cost is the clock multiple —
+	// which is why the paper drops it beyond two ports (§1). Included to
+	// complete the taxonomy.
+	VirtualMultiport
+	// BankedStoreQueue is a multi-bank cache whose banks carry PA8000-style
+	// store queues (the implementations §5.2 cites via [18]) but no line
+	// buffers: stores stop competing with loads, yet nothing combines. It
+	// separates how much of the LBIC's win comes from store queues versus
+	// from combining.
+	BankedStoreQueue
+	// MultiPortedBanks is the Sohi & Franklin hybrid (§7's related work):
+	// Banks line-interleaved banks with Width true ports each — any Width
+	// requests per bank per cycle, at true multi-porting's cost per bank.
+	MultiPortedBanks
+)
+
+// String returns the organization name used in the paper's tables.
+func (k PortKind) String() string {
+	switch k {
+	case Ideal:
+		return "True"
+	case Replicated:
+		return "Repl"
+	case Banked:
+		return "Bank"
+	case LBIC:
+		return "LBIC"
+	case VirtualMultiport:
+		return "Virt"
+	case BankedStoreQueue:
+		return "BankSQ"
+	case MultiPortedBanks:
+		return "MPB"
+	default:
+		return "port(?)"
+	}
+}
+
+// BankSelectorKind selects the bank selection function for Banked ports
+// (the §3.2 selection-function ablation).
+type BankSelectorKind = ports.SelectorKind
+
+// Bank selection functions.
+const (
+	// BitSelect is the paper's line-interleaved bit selection (Fig 2c).
+	BitSelect = ports.BitSelect
+	// XorFold is a cheap pseudo-random interleaving (Rau-style).
+	XorFold = ports.XorFold
+	// WordInterleave banks at word granularity (vector-machine style; its
+	// real cost is tag replication, which the paper rules out for caches).
+	WordInterleave = ports.WordInterleave
+)
+
+// PortConfig describes one cache port organization instance.
+type PortConfig struct {
+	Kind PortKind
+	// Width is the port count for Ideal and Replicated.
+	Width int
+	// Banks is the bank count for Banked and LBIC.
+	Banks int
+	// LinePorts is N, the per-bank line-buffer port count, for LBIC.
+	LinePorts int
+	// Selector overrides the bank selection function for Banked (the LBIC
+	// requires line interleaving, §5.1). Zero value is BitSelect.
+	Selector BankSelectorKind
+	// Greedy selects the §5.2 largest-group line policy for LBIC.
+	Greedy bool
+	// StoreQueueDepth overrides the LBIC per-bank store queue depth
+	// (0 = default).
+	StoreQueueDepth int
+
+	// custom holds a user-supplied arbiter factory (see CustomPort).
+	custom func(lineSize int) (ports.Arbiter, error)
+}
+
+// IdealPort returns an ideal multi-port configuration.
+func IdealPort(width int) PortConfig { return PortConfig{Kind: Ideal, Width: width} }
+
+// ReplicatedPort returns a replicated multi-port configuration.
+func ReplicatedPort(width int) PortConfig { return PortConfig{Kind: Replicated, Width: width} }
+
+// BankedPort returns a multi-bank configuration.
+func BankedPort(banks int) PortConfig { return PortConfig{Kind: Banked, Banks: banks} }
+
+// LBICPort returns an MxN LBIC configuration.
+func LBICPort(banks, linePorts int) PortConfig {
+	return PortConfig{Kind: LBIC, Banks: banks, LinePorts: linePorts}
+}
+
+// VirtualPort returns a time-division multiplexed configuration (the SRAM
+// runs width times the core clock; grants match IdealPort exactly).
+func VirtualPort(width int) PortConfig { return PortConfig{Kind: VirtualMultiport, Width: width} }
+
+// BankedSQPort returns a multi-bank configuration with PA8000-style per-bank
+// store queues but no combining.
+func BankedSQPort(banks int) PortConfig { return PortConfig{Kind: BankedStoreQueue, Banks: banks} }
+
+// MultiPortedBanksPort returns banks line-interleaved banks with
+// portsPerBank true ports each (the Sohi & Franklin hybrid).
+func MultiPortedBanksPort(banks, portsPerBank int) PortConfig {
+	return PortConfig{Kind: MultiPortedBanks, Banks: banks, Width: portsPerBank}
+}
+
+// Name returns a short identifier, e.g. "true-4", "lbic-4x2".
+func (p PortConfig) Name() string {
+	switch p.Kind {
+	case Ideal:
+		return fmt.Sprintf("true-%d", p.Width)
+	case Replicated:
+		return fmt.Sprintf("repl-%d", p.Width)
+	case Banked:
+		if p.Selector != BitSelect {
+			return fmt.Sprintf("bank-%d-%s", p.Banks, p.Selector)
+		}
+		return fmt.Sprintf("bank-%d", p.Banks)
+	case LBIC:
+		if p.Greedy {
+			return fmt.Sprintf("lbic-%dx%d-greedy", p.Banks, p.LinePorts)
+		}
+		return fmt.Sprintf("lbic-%dx%d", p.Banks, p.LinePorts)
+	case VirtualMultiport:
+		return fmt.Sprintf("virt-%d", p.Width)
+	case BankedStoreQueue:
+		return fmt.Sprintf("banksq-%d", p.Banks)
+	case MultiPortedBanks:
+		return fmt.Sprintf("mpb-%dx%d", p.Banks, p.Width)
+	case customPortKind:
+		return "custom"
+	default:
+		return "port(?)"
+	}
+}
+
+// Config is a complete simulation configuration.
+type Config struct {
+	// Port selects the L1 port organization.
+	Port PortConfig
+	// MaxInsts stops the run after this many instructions (0 = stream end).
+	MaxInsts uint64
+	// CPU overrides the Table 1 processor baseline when non-nil.
+	CPU *CPUConfig
+	// Mem overrides the Table 1 memory hierarchy baseline when non-nil.
+	Mem *MemParams
+}
+
+// DefaultConfig returns the paper's baseline with a single ideal port and a
+// one-million-instruction budget.
+func DefaultConfig() Config {
+	return Config{Port: IdealPort(1), MaxInsts: 1_000_000}
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Benchmark string
+	Port      PortConfig
+	Cycles    uint64
+	Insts     uint64
+	IPC       float64
+	CPU       CPUStats
+	Mem       MemStats
+	// LBIC carries combining statistics for LBIC runs, nil otherwise.
+	LBIC *LBICStats
+	// BankConflicts carries conflict counts for Banked runs.
+	BankConflicts uint64
+}
+
+// Benchmarks lists the ten SPEC95-like kernels in the paper's Table 2 order.
+func Benchmarks() []BenchmarkInfo { return workload.All() }
+
+// PatternInfo describes a synthetic access-pattern microbenchmark.
+type PatternInfo = workload.PatternInfo
+
+// Patterns lists the access-pattern microbenchmarks: single-property streams
+// (unit stride, same-line bursts, pathological bank strides, random,
+// pointer chase, store bursts) that isolate each port organization's
+// behaviour.
+func Patterns() []PatternInfo { return workload.Patterns() }
+
+// BuildPattern constructs a named access-pattern microbenchmark.
+func BuildPattern(name string) (*Program, error) {
+	p, ok := workload.PatternByName(name)
+	if !ok {
+		names := make([]string, 0, len(workload.Patterns()))
+		for _, in := range workload.Patterns() {
+			names = append(names, in.Name)
+		}
+		return nil, fmt.Errorf("lbic: unknown pattern %q (have %v)", name, names)
+	}
+	return p.Build(), nil
+}
+
+// BenchmarkNames lists the kernel names in canonical order.
+func BenchmarkNames() []string { return workload.Names() }
+
+// BuildBenchmark constructs a named kernel program.
+func BuildBenchmark(name string) (*Program, error) {
+	in, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("lbic: unknown benchmark %q (have %v)", name, workload.Names())
+	}
+	return in.Build(), nil
+}
+
+// buildArbiter constructs the port model for a configuration.
+func buildArbiter(p PortConfig, lineSize int) (ports.Arbiter, error) {
+	switch p.Kind {
+	case Ideal:
+		return ports.NewIdeal(p.Width)
+	case Replicated:
+		return ports.NewReplicated(p.Width)
+	case Banked:
+		return ports.NewBankedSelector(p.Banks, lineSize, p.Selector)
+	case VirtualMultiport:
+		return ports.NewVirtual(p.Width)
+	case BankedStoreQueue:
+		return ports.NewBankedSQ(p.Banks, lineSize, p.StoreQueueDepth)
+	case MultiPortedBanks:
+		return ports.NewMultiPortedBanks(p.Banks, p.Width, lineSize)
+	case customPortKind:
+		if p.custom == nil {
+			return nil, fmt.Errorf("lbic: custom port without a factory")
+		}
+		return p.custom(lineSize)
+	case LBIC:
+		policy := core.PolicyLeading
+		if p.Greedy {
+			policy = core.PolicyGreedy
+		}
+		return core.New(core.Config{
+			Banks:           p.Banks,
+			LinePorts:       p.LinePorts,
+			LineSize:        lineSize,
+			StoreQueueDepth: p.StoreQueueDepth,
+			Policy:          policy,
+		})
+	default:
+		return nil, fmt.Errorf("lbic: unknown port kind %d", p.Kind)
+	}
+}
+
+// Simulate runs prog on the paper's processor model under the configured
+// port organization and returns the measured statistics.
+func Simulate(prog *Program, cfg Config) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(*vm.Fault); ok {
+				err = fmt.Errorf("lbic: program %q faulted: %w", prog.Name, f)
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	memParams := cache.DefaultParams()
+	if cfg.Mem != nil {
+		memParams = *cfg.Mem
+	}
+	cpuCfg := cpu.DefaultConfig()
+	if cfg.CPU != nil {
+		cpuCfg = *cfg.CPU
+	}
+	cpuCfg.MaxInsts = cfg.MaxInsts
+
+	arb, err := buildArbiter(cfg.Port, memParams.L1.LineSize)
+	if err != nil {
+		return Result{}, err
+	}
+	hier, err := cache.NewHierarchy(memParams)
+	if err != nil {
+		return Result{}, err
+	}
+	machine, err := emu.New(prog)
+	if err != nil {
+		return Result{}, err
+	}
+	c, err := cpu.New(machine, hier, arb, cpuCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	st, err := c.Run()
+	if err != nil {
+		return Result{}, fmt.Errorf("lbic: simulating %q on %s: %w", prog.Name, cfg.Port.Name(), err)
+	}
+
+	res = Result{
+		Benchmark: prog.Name,
+		Port:      cfg.Port,
+		Cycles:    st.Cycles,
+		Insts:     st.Committed,
+		IPC:       st.IPC(),
+		CPU:       st,
+		Mem:       hier.Stats(),
+	}
+	switch a := arb.(type) {
+	case *core.LBIC:
+		s := a.Stats()
+		res.LBIC = &s
+	case *ports.Banked:
+		res.BankConflicts = a.Conflicts
+	}
+	return res, nil
+}
+
+// Characterize measures a program's Table 2 statistics (memory instruction
+// fraction, store-to-load ratio, 32KB direct-mapped miss rate) functionally.
+func Characterize(prog *Program, maxInsts uint64) (BenchmarkStats, error) {
+	return workload.Characterize(prog, maxInsts)
+}
+
+// CharacterizeWith is Characterize against an arbitrary L1 geometry, for
+// capacity and associativity sensitivity studies.
+func CharacterizeWith(prog *Program, maxInsts uint64, geom Geometry) (BenchmarkStats, error) {
+	return workload.CharacterizeWith(prog, maxInsts, geom)
+}
+
+// DefaultCPUConfig returns the paper's Table 1 processor baseline, for
+// callers that override individual parameters via Config.CPU.
+func DefaultCPUConfig() CPUConfig { return cpu.DefaultConfig() }
+
+// DefaultMemParams returns the paper's Table 1 memory hierarchy baseline,
+// for callers that override individual parameters via Config.Mem.
+func DefaultMemParams() MemParams { return cache.DefaultParams() }
+
+// FUClass indexes CPUConfig.FUCount, for overriding Table 1's functional
+// unit pool.
+type FUClass = isa.Class
+
+// Functional-unit classes (Table 1).
+const (
+	ClassIntALU = isa.ClassIntALU
+	ClassIntMul = isa.ClassIntMul
+	ClassIntDiv = isa.ClassIntDiv
+	ClassFPAdd  = isa.ClassFPAdd
+	ClassFPMul  = isa.ClassFPMul
+	ClassFPDiv  = isa.ClassFPDiv
+	ClassLoad   = isa.ClassLoad
+	ClassStore  = isa.ClassStore
+)
+
+// AnalyzeRefStream computes the Figure 3 consecutive-reference distribution
+// of a program over an infinite banks-way line-interleaved cache.
+func AnalyzeRefStream(prog *Program, banks, lineSize int, maxInsts uint64) (Distribution, error) {
+	m, err := emu.New(prog)
+	if err != nil {
+		return Distribution{}, err
+	}
+	return refstream.Analyze(m, banks, lineSize, maxInsts)
+}
+
+// compile-time check: the emulator satisfies the stream contract.
+var _ trace.Stream = (*emu.Machine)(nil)

@@ -1,0 +1,53 @@
+package lbic
+
+import (
+	"fmt"
+
+	"lbic/internal/ports"
+)
+
+// Ref is one memory reference in a hand-built port scenario.
+type Ref struct {
+	Addr  uint64
+	Store bool
+}
+
+// ScenarioCycles drives only the port arbiter of the given organization with
+// a set of simultaneously ready references (as if they all sat ready in the
+// LSQ) and returns how many cycles elapse before every reference has been
+// granted a cache access. It is the one-shot analysis the paper performs by
+// hand for Figure 4c: the full pipeline, caches and latencies are out of the
+// picture, isolating pure port/bank/combining behaviour.
+//
+// A limit guards against starvation bugs; exceeding it is reported as an
+// error.
+func ScenarioCycles(port PortConfig, refs []Ref) (int, error) {
+	lineSize := DefaultConfig().memLineSize()
+	arb, err := buildArbiter(port, lineSize)
+	if err != nil {
+		return 0, err
+	}
+	ready := make([]ports.Request, len(refs))
+	for i, r := range refs {
+		ready[i] = ports.Request{Seq: uint64(i), Addr: r.Addr, Store: r.Store}
+	}
+	cycles := 0
+	for now := uint64(0); len(ready) > 0; now++ {
+		if cycles++; cycles > 10*len(refs)+16 {
+			return 0, fmt.Errorf("lbic: scenario did not drain on %s after %d cycles", port.Name(), cycles)
+		}
+		granted := arb.Grant(now, ready, nil)
+		for i := len(granted) - 1; i >= 0; i-- {
+			ready = append(ready[:granted[i]], ready[granted[i]+1:]...)
+		}
+	}
+	return cycles, nil
+}
+
+// memLineSize resolves the L1 line size a Config implies.
+func (c Config) memLineSize() int {
+	if c.Mem != nil {
+		return c.Mem.L1.LineSize
+	}
+	return 32
+}

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Reproduce every result in EXPERIMENTS.md from scratch.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+go vet ./...
+
+echo "== tests =="
+go test ./...
+
+echo "== tables and figures (Tables 2-4, Figure 3) =="
+go run ./cmd/lbictables -all -q
+
+echo "== ablation studies =="
+go run ./cmd/lbictables -ablations -q
+
+echo "== benchmarks =="
+go test -bench=. -benchmem -benchtime=1x .

@@ -1,0 +1,82 @@
+package lbic
+
+import (
+	"fmt"
+	"io"
+
+	"lbic/internal/cache"
+	"lbic/internal/cpu"
+	"lbic/internal/emu"
+	"lbic/internal/vm"
+)
+
+// TraceOptions configures TraceSimulation's output window.
+type TraceOptions struct {
+	// SkipCycles fast-forwards past warm-up before printing.
+	SkipCycles uint64
+	// MaxCycles bounds the number of printed lines (0 = all).
+	MaxCycles uint64
+	// Every prints one line per this many cycles (0 or 1 = every cycle).
+	Every uint64
+}
+
+// TraceSimulation runs prog like Simulate but writes a per-cycle pipeline
+// occupancy timeline to w: commit and issue counts, window/LSQ/ready-queue
+// occupancy, loads awaiting ports, the committed store buffer, port grants,
+// and the state of the oldest instruction. Use it to see *why* a port
+// organization stalls — e.g., a banked run shows the memory queue backing up
+// while the same cycle window under an LBIC drains it.
+func TraceSimulation(prog *Program, cfg Config, w io.Writer, opt TraceOptions) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(*vm.Fault); ok {
+				err = fmt.Errorf("lbic: program %q faulted: %w", prog.Name, f)
+				return
+			}
+			panic(r)
+		}
+	}()
+	memParams := cache.DefaultParams()
+	if cfg.Mem != nil {
+		memParams = *cfg.Mem
+	}
+	cpuCfg := cpu.DefaultConfig()
+	if cfg.CPU != nil {
+		cpuCfg = *cfg.CPU
+	}
+	cpuCfg.MaxInsts = cfg.MaxInsts
+
+	arb, err := buildArbiter(cfg.Port, memParams.L1.LineSize)
+	if err != nil {
+		return Result{}, err
+	}
+	hier, err := cache.NewHierarchy(memParams)
+	if err != nil {
+		return Result{}, err
+	}
+	machine, err := emu.New(prog)
+	if err != nil {
+		return Result{}, err
+	}
+	c, err := cpu.New(machine, hier, arb, cpuCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	st, err := cpu.TraceRun(c, w, cpu.TraceOptions{
+		SkipCycles: opt.SkipCycles,
+		MaxCycles:  opt.MaxCycles,
+		Every:      opt.Every,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Benchmark: prog.Name,
+		Port:      cfg.Port,
+		Cycles:    st.Cycles,
+		Insts:     st.Committed,
+		IPC:       st.IPC(),
+		CPU:       st,
+		Mem:       hier.Stats(),
+	}, nil
+}
