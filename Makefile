@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench tables figures ablations fuzz reproduce clean
+.PHONY: all build vet test test-short check bench tables figures ablations fuzz reproduce clean
 
 all: build vet test
 
@@ -15,6 +15,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# check is the CI gate: vet plus the full suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 test-short:
 	$(GO) test -short ./...

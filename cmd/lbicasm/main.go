@@ -25,6 +25,8 @@ func main() {
 		linePorts = flag.Int("lineports", 2, "per-bank line-buffer ports (lbic)")
 		insts     = flag.Uint64("insts", 1_000_000, "instruction budget")
 		disasm    = flag.Bool("d", false, "print the disassembly listing and exit")
+		jsonOut   = flag.String("json", "", "with -sim: write the machine-readable run report to this file (- for stdout)")
+		metrics   = flag.Bool("metrics", false, "with -sim: print histogram and gauge tables")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -84,8 +86,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *jsonOut != "" {
+		f := os.Stdout
+		if *jsonOut != "-" {
+			f, err = os.Create(*jsonOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+		}
+		if err := lbic.NewReport(res).WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if *jsonOut == "-" {
+			return
+		}
+		fmt.Printf("report written to %s\n", *jsonOut)
+	}
 	fmt.Printf("simulated on %s: IPC %.3f (%d instructions, %d cycles)\n",
 		port.Name(), res.IPC, res.Insts, res.Cycles)
+	if *metrics {
+		fmt.Println()
+		if err := res.Metrics.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -4,6 +4,8 @@
 //	lbicsim -bench compress -port ideal -width 4
 //	lbicsim -bench swim -port banked -banks 8
 //	lbicsim -bench mgrid -port lbic -banks 4 -lineports 2 -insts 2000000
+//	lbicsim -bench compress -port lbic -banks 4 -lineports 2 -json run.json
+//	lbicsim -bench compress -port banked -banks 4 -metrics
 //	lbicsim -list
 package main
 
@@ -11,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"lbic"
@@ -18,15 +22,20 @@ import (
 
 func main() {
 	var (
-		bench     = flag.String("bench", "compress", "benchmark kernel to run")
-		pattern   = flag.String("pattern", "", "run an access-pattern microbenchmark instead of -bench")
-		portKind  = flag.String("port", "ideal", "port organization: ideal | repl | banked | lbic")
-		width     = flag.Int("width", 1, "port count (ideal, repl)")
-		banks     = flag.Int("banks", 4, "bank count (banked, lbic)")
-		linePorts = flag.Int("lineports", 2, "per-bank line-buffer ports (lbic)")
-		insts     = flag.Uint64("insts", 1_000_000, "instructions to simulate")
-		list      = flag.Bool("list", false, "list benchmarks and exit")
-		verbose   = flag.Bool("v", false, "print detailed CPU and memory statistics")
+		bench      = flag.String("bench", "compress", "benchmark kernel to run")
+		pattern    = flag.String("pattern", "", "run an access-pattern microbenchmark instead of -bench")
+		portKind   = flag.String("port", "ideal", "port organization: ideal | repl | banked | banksq | mpb | lbic")
+		width      = flag.Int("width", 1, "port count (ideal, repl, mpb ports per bank)")
+		banks      = flag.Int("banks", 4, "bank count (banked, banksq, mpb, lbic)")
+		linePorts  = flag.Int("lineports", 2, "per-bank line-buffer ports (lbic)")
+		insts      = flag.Uint64("insts", 1_000_000, "instructions to simulate")
+		list       = flag.Bool("list", false, "list benchmarks and exit")
+		verbose    = flag.Bool("v", false, "print detailed CPU and memory statistics")
+		showMetric = flag.Bool("metrics", false, "print histogram and gauge tables (CPI stack, per-bank conflicts, ...)")
+		jsonOut    = flag.String("json", "", "write the machine-readable run report to this file (- for stdout)")
+		eventsOut  = flag.String("events", "", "write the structured JSONL event trace to this file (- for stdout)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
 	)
 	flag.Parse()
 
@@ -49,6 +58,10 @@ func main() {
 		port = lbic.ReplicatedPort(*width)
 	case "bank", "banked":
 		port = lbic.BankedPort(*banks)
+	case "banksq":
+		port = lbic.BankedSQPort(*banks)
+	case "mpb":
+		port = lbic.MultiPortedBanksPort(*banks, *width)
 	case "lbic":
 		port = lbic.LBICPort(*banks, *linePorts)
 	default:
@@ -68,13 +81,72 @@ func main() {
 	cfg := lbic.DefaultConfig()
 	cfg.Port = port
 	cfg.MaxInsts = *insts
+
+	var eventSink *lbic.JSONLEventSink
+	if *eventsOut != "" {
+		f, closeFn, err := create(*eventsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeFn()
+		eventSink = lbic.NewJSONLEventSink(f)
+		cfg.Events = eventSink
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	res, err := lbic.Simulate(prog, cfg)
 	if err != nil {
 		fatal(err)
 	}
+	if eventSink != nil {
+		if err := eventSink.Err(); err != nil {
+			fatal(fmt.Errorf("writing event trace: %w", err))
+		}
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	if *jsonOut != "" {
+		f, closeFn, err := create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := lbic.NewReport(res).WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		closeFn()
+		if *jsonOut == "-" {
+			return
+		}
+	}
+	// Events streamed to stdout: keep the stream pure JSONL.
+	if *eventsOut == "-" {
+		return
+	}
 
 	fmt.Printf("benchmark:   %s\n", res.Benchmark)
-	fmt.Printf("ports:       %s (peak %d accesses/cycle)\n", port.Name(), peak(port))
+	fmt.Printf("ports:       %s (peak %d accesses/cycle)\n", port.Name(), port.PeakWidth())
 	fmt.Printf("insts:       %d\n", res.Insts)
 	fmt.Printf("cycles:      %d\n", res.Cycles)
 	fmt.Printf("IPC:         %.3f\n", res.IPC)
@@ -89,21 +161,36 @@ func main() {
 			res.LBIC.Leading, res.LBIC.Combined, res.LBIC.LineConflicts, res.LBIC.StoreDrains)
 	}
 	if *verbose {
-		fmt.Printf("\ncpu: %+v\n", res.CPU)
-		fmt.Printf("mem: %+v\n", res.Mem)
+		fmt.Println()
+		render(lbic.CPIStackTable(res))
+		render(lbic.CPUStatsTable(res.CPU))
+		render(lbic.MemStatsTable(res.Mem))
+	}
+	if *showMetric {
+		fmt.Println()
+		if err := res.Metrics.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 }
 
-func peak(p lbic.PortConfig) int {
-	switch p.Kind {
-	case lbic.Ideal, lbic.Replicated:
-		return p.Width
-	case lbic.Banked:
-		return p.Banks
-	case lbic.LBIC:
-		return p.Banks * p.LinePorts
+func render(t *lbic.Table) {
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
 	}
-	return 0
+	fmt.Println()
+}
+
+// create opens path for writing; "-" selects stdout (with a no-op close).
+func create(path string) (*os.File, func(), error) {
+	if path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
 }
 
 func fatal(err error) {

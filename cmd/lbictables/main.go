@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"lbic/internal/experiments"
 	"lbic/internal/stats"
@@ -21,20 +23,46 @@ import (
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "regenerate table 2, 3 or 4")
-		figure    = flag.Int("figure", 0, "regenerate figure 3")
-		all       = flag.Bool("all", false, "regenerate every table and figure")
-		ablations = flag.Bool("ablations", false, "run the design-choice ablation studies")
-		insts     = flag.Uint64("insts", experiments.DefaultInsts, "instructions simulated per run")
-		markdown  = flag.Bool("markdown", false, "emit Markdown tables")
-		jsonOut   = flag.Bool("json", false, "emit JSON tables")
-		quiet     = flag.Bool("q", false, "suppress progress output")
+		table      = flag.Int("table", 0, "regenerate table 2, 3 or 4")
+		figure     = flag.Int("figure", 0, "regenerate figure 3")
+		all        = flag.Bool("all", false, "regenerate every table and figure")
+		ablations  = flag.Bool("ablations", false, "run the design-choice ablation studies")
+		insts      = flag.Uint64("insts", experiments.DefaultInsts, "instructions simulated per run")
+		markdown   = flag.Bool("markdown", false, "emit Markdown tables")
+		jsonOut    = flag.Bool("json", false, "emit JSON tables")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile on exit to this file")
 	)
 	flag.Parse()
 
 	if !*all && !*ablations && *table == 0 && *figure == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 	progress := func(name string) {
 		if !*quiet {

@@ -26,6 +26,7 @@ func main() {
 		skip      = flag.Uint64("skip", 1000, "cycles to fast-forward before printing")
 		cycles    = flag.Uint64("cycles", 50, "cycles to print (0 = all)")
 		every     = flag.Uint64("every", 1, "print one line per N cycles")
+		eventsOut = flag.String("events", "", "write the structured JSONL event trace to this file")
 	)
 	flag.Parse()
 
@@ -50,6 +51,18 @@ func main() {
 	cfg := lbic.DefaultConfig()
 	cfg.Port = port
 	cfg.MaxInsts = *insts
+
+	var eventSink *lbic.JSONLEventSink
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		eventSink = lbic.NewJSONLEventSink(f)
+		cfg.Events = eventSink
+	}
+
 	fmt.Printf("%s on %s\n\n", *bench, port.Name())
 	if _, err := lbic.TraceSimulation(prog, cfg, os.Stdout, lbic.TraceOptions{
 		SkipCycles: *skip,
@@ -57,6 +70,11 @@ func main() {
 		Every:      *every,
 	}); err != nil {
 		fatal(err)
+	}
+	if eventSink != nil {
+		if err := eventSink.Err(); err != nil {
+			fatal(fmt.Errorf("writing event trace: %w", err))
+		}
 	}
 }
 

@@ -1,6 +1,11 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"lbic/internal/metrics"
+	"lbic/internal/trace"
+)
 
 // Params configures the hierarchy timing. The zero value is not valid; use
 // DefaultParams for the paper's Table 1 baseline.
@@ -145,6 +150,12 @@ type Hierarchy struct {
 	completed []Completion
 	drained   []Completion // previous Drain result, recycled as next buffer
 	stats     Stats
+
+	// Observability: per-cycle MSHR occupancy (sampled in Advance) and an
+	// optional structured event sink.
+	mshrOcc   *metrics.Histogram
+	events    trace.EventSink
+	lineShift uint // log2(L1 line size), for event line numbers
 }
 
 // NewHierarchy returns an empty hierarchy.
@@ -170,8 +181,18 @@ func NewHierarchy(p Params) (*Hierarchy, error) {
 		sendBW:   bw,
 		fills:    make([][]uint64, ring),
 		fillMask: uint64(ring - 1),
+		mshrOcc: metrics.NewHistogram("mem.mshr_occupancy",
+			"live MSHRs per cycle (memory-level parallelism in flight)",
+			"mshrs", p.MSHRs+1),
+		lineShift: uint(p.L1.LineBits()),
 	}, nil
 }
+
+// SetEventSink directs the structured event trace to s (nil disables it).
+func (h *Hierarchy) SetEventSink(s trace.EventSink) { h.events = s }
+
+// MSHROccupancy returns the live per-cycle MSHR occupancy histogram.
+func (h *Hierarchy) MSHROccupancy() *metrics.Histogram { return h.mshrOcc }
 
 // Params returns the configured parameters.
 func (h *Hierarchy) Params() Params { return h.params }
@@ -192,6 +213,7 @@ func (h *Hierarchy) OutstandingMisses() int { return len(h.mshrs) }
 // cycle (installing lines, completing attached requests) and send at most one
 // queued miss request to L2. Call exactly once per cycle, before Access.
 func (h *Hierarchy) Advance(now uint64) {
+	h.mshrOcc.Observe(len(h.mshrs))
 	// Deliver fills scheduled for this cycle.
 	slot := now & h.fillMask
 	for _, line := range h.fills[slot] {
@@ -242,6 +264,10 @@ func (h *Hierarchy) fill(now uint64, line uint64) {
 	victim, victimDirty, evicted := h.l1.Install(line, m.store)
 	if evicted && victimDirty {
 		h.stats.Writebacks++
+		if h.events != nil {
+			h.events.Emit(trace.Event{Cycle: now, Kind: trace.EvWriteback, Seq: -1,
+				Bank: -1, Line: victim >> h.lineShift})
+		}
 		// Write the victim back into L2 (it may itself miss there; the
 		// write buffer absorbs the latency, so only state is updated).
 		if !h.l2.Access(victim, true) {
@@ -273,6 +299,10 @@ func (h *Hierarchy) Access(now uint64, addr uint64, write bool, token int64) Out
 		m = &mshr{line: line}
 		h.mshrs[line] = m
 		h.stats.MissesNew++
+		if h.events != nil {
+			h.events.Emit(trace.Event{Cycle: now, Kind: trace.EvMiss, Seq: -1,
+				Bank: -1, Line: line >> h.lineShift})
+		}
 		// Send immediately if a request slot remains this cycle, else queue.
 		if h.sendLeft > 0 && h.pendingL2 < h.params.MaxPending {
 			h.sendLeft--

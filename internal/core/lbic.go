@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"lbic/internal/ports"
+	"lbic/internal/trace"
 )
 
 // DefaultStoreQueueDepth is the per-bank store queue capacity used when a
@@ -118,6 +119,14 @@ type LBIC struct {
 	greedyN   []int
 
 	stats Stats
+
+	// Observability: per-bank grant/conflict counts, the distribution of
+	// combining-group widths (widths[n] = bank-cycles that granted n
+	// same-line accesses), and an optional structured event sink.
+	bankAccess   []uint64
+	bankConflict []uint64
+	widths       []uint64
+	events       trace.EventSink
 }
 
 // New returns an MxN LBIC arbiter.
@@ -136,16 +145,19 @@ func New(cfg Config) (*LBIC, error) {
 		return nil, err
 	}
 	return &LBIC{
-		cfg:       cfg,
-		sel:       sel,
-		storeQ:    make([][]uint64, cfg.Banks),
-		leadSet:   make([]bool, cfg.Banks),
-		blocked:   make([]bool, cfg.Banks),
-		line:      make([]uint64, cfg.Banks),
-		count:     make([]int, cfg.Banks),
-		chosen:    make([]uint64, cfg.Banks),
-		chosenSet: make([]bool, cfg.Banks),
-		greedyN:   make([]int, cfg.Banks),
+		cfg:          cfg,
+		sel:          sel,
+		storeQ:       make([][]uint64, cfg.Banks),
+		leadSet:      make([]bool, cfg.Banks),
+		blocked:      make([]bool, cfg.Banks),
+		line:         make([]uint64, cfg.Banks),
+		count:        make([]int, cfg.Banks),
+		chosen:       make([]uint64, cfg.Banks),
+		chosenSet:    make([]bool, cfg.Banks),
+		greedyN:      make([]int, cfg.Banks),
+		bankAccess:   make([]uint64, cfg.Banks),
+		bankConflict: make([]uint64, cfg.Banks),
+		widths:       make([]uint64, cfg.LinePorts+1),
 	}, nil
 }
 
@@ -171,6 +183,32 @@ func (a *LBIC) Stats() Stats { return a.stats }
 
 // StoreQueueLen returns the lines queued in bank b's store queue.
 func (a *LBIC) StoreQueueLen(b int) int { return len(a.storeQ[b]) }
+
+// SetEventSink implements ports.EventRecorder.
+func (a *LBIC) SetEventSink(s trace.EventSink) { a.events = s }
+
+// BankAccesses implements ports.BankObserver: grants per bank.
+func (a *LBIC) BankAccesses() []uint64 { return append([]uint64(nil), a.bankAccess...) }
+
+// BankConflicts implements ports.BankObserver: stalled requests per bank
+// (line conflicts, port saturation, and store-queue stalls).
+func (a *LBIC) BankConflicts() []uint64 { return append([]uint64(nil), a.bankConflict...) }
+
+// CombineWidths returns the combining-width distribution: element n counts
+// the bank-cycles whose open line served exactly n accesses (n in
+// 1..LinePorts; element 0 is unused). Mass above width 1 is bandwidth a
+// traditional banked cache would have lost to same-line conflicts.
+func (a *LBIC) CombineWidths() []uint64 { return append([]uint64(nil), a.widths...) }
+
+// conflict records one stalled request with its cause.
+func (a *LBIC) conflict(now uint64, r *ports.Request, b int, counter *uint64, cause string) {
+	*counter++
+	a.bankConflict[b]++
+	if a.events != nil {
+		a.events.Emit(trace.Event{Cycle: now, Kind: trace.EvConflict,
+			Seq: int64(r.Seq), Bank: b, Line: a.sel.LineOf(r.Addr), Cause: cause})
+	}
+}
 
 // chooseGreedy implements PolicyGreedy's selection pass: per bank, the line
 // with the most combinable ready requests (group sizes cap at LinePorts, so
@@ -247,7 +285,7 @@ func (a *LBIC) Grant(now uint64, ready []ports.Request, dst []int) []int {
 		if a.chosenSet[b] && !a.leadSet[b] && line != a.chosen[b] {
 			// Greedy policy reserved this bank for a larger group; requests
 			// to other lines wait even if older.
-			a.stats.LineConflicts++
+			a.conflict(now, r, b, &a.stats.LineConflicts, "greedy-bypass")
 			continue
 		}
 		switch {
@@ -256,6 +294,7 @@ func (a *LBIC) Grant(now uint64, ready []ports.Request, dst []int) []int {
 			a.line[b] = line
 			a.count[b] = 1
 			a.stats.Leading++
+			a.bankAccess[b]++
 			if r.Store && !a.enqueueStore(b, line) {
 				// Queue full: the leading store writes the array directly,
 				// exactly as in a traditional banked cache, and closes the
@@ -266,23 +305,32 @@ func (a *LBIC) Grant(now uint64, ready []ports.Request, dst []int) []int {
 			}
 			dst = append(dst, i)
 		case a.line[b] != line:
-			a.stats.LineConflicts++
+			a.conflict(now, r, b, &a.stats.LineConflicts, "line-conflict")
 		case a.count[b] >= a.cfg.LinePorts:
-			a.stats.PortSaturation++
+			a.conflict(now, r, b, &a.stats.PortSaturation, "port-saturation")
 		case r.Store && !a.enqueueStore(b, line):
-			a.stats.StoreQueueStalls++
+			a.conflict(now, r, b, &a.stats.StoreQueueStalls, "store-queue-full")
 		default:
 			a.count[b]++
 			a.stats.Combined++
+			a.bankAccess[b]++
+			if a.events != nil {
+				a.events.Emit(trace.Event{Cycle: now, Kind: trace.EvCombine,
+					Seq: int64(r.Seq), Bank: b, Line: line})
+			}
 			dst = append(dst, i)
 		}
 	}
 	// Store queues use idle cycles to perform their writes (§5.2): one
-	// queued line retires per idle bank cycle.
+	// queued line retires per idle bank cycle. Active banks record their
+	// combining-group width.
 	for b := 0; b < a.cfg.Banks; b++ {
 		if a.count[b] == 0 && len(a.storeQ[b]) > 0 {
 			a.storeQ[b] = a.storeQ[b][1:]
 			a.stats.StoreDrains++
+		}
+		if a.count[b] > 0 {
+			a.widths[a.count[b]]++
 		}
 	}
 	return dst

@@ -109,6 +109,11 @@ type Stats struct {
 	DispatchStallLSQ    uint64
 	OrderingStalls      uint64 // load-cycles spent waiting on unknown store addresses
 	ForwardWaits        uint64 // loads that waited on an unready matching store
+
+	// StallCycles is the CPI stall stack: every simulated cycle attributed
+	// to exactly one StallCause, so the entries sum to Cycles. See
+	// StallCause for the attribution rules.
+	StallCycles [NumStallCauses]uint64
 }
 
 // IPC returns committed instructions per cycle.

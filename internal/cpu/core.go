@@ -7,6 +7,7 @@ import (
 
 	"lbic/internal/cache"
 	"lbic/internal/isa"
+	"lbic/internal/metrics"
 	"lbic/internal/ports"
 	"lbic/internal/trace"
 )
@@ -124,6 +125,16 @@ type Core struct {
 	reqBuf   []ports.Request
 	reqIdx   []int32 // parallel: RUU index (loads) or -(slot+1) (stores)
 	grantBuf []int
+
+	// Observability. The gauges and histogram are live metric objects a
+	// run report's registry adopts; events is nil unless a structured
+	// event trace was requested.
+	grantHist *metrics.Histogram
+	ruuOcc    *metrics.Gauge
+	lsqOcc    *metrics.Gauge
+	sbOcc     *metrics.Gauge
+	events    trace.EventSink
+	lineShift uint // log2(L1 line size), for event line numbers
 }
 
 // New prepares a run of stream against the given memory hierarchy and port
@@ -153,6 +164,13 @@ func New(stream trace.Stream, hier *cache.Hierarchy, arb ports.Arbiter, cfg Conf
 		fwdWaiters: make(map[uint64][]int32),
 		fwdMap:     make(map[uint64][]fwdRef),
 		storeBuf:   make([]storeBufEntry, cfg.StoreBufferSize),
+		grantHist: metrics.NewHistogram("cpu.grants_per_cycle",
+			"port grants per cycle (arbiter bandwidth actually used)",
+			"grants", arb.PeakWidth()+1),
+		ruuOcc:    metrics.NewGauge("cpu.ruu_occupancy", "instructions in the window per cycle"),
+		lsqOcc:    metrics.NewGauge("cpu.lsq_occupancy", "memory operations in the LSQ per cycle"),
+		sbOcc:     metrics.NewGauge("cpu.storebuf_occupancy", "committed stores awaiting write per cycle"),
+		lineShift: uint(hier.Params().L1.LineBits()),
 	}
 	for r := range c.lastWriter {
 		c.lastWriter[r] = -1
@@ -170,6 +188,19 @@ func (c *Core) Stats() Stats {
 
 // Now returns the current cycle.
 func (c *Core) Now() uint64 { return c.now }
+
+// SetEventSink directs the structured event trace to s (nil disables it).
+// Set it before the first Step.
+func (c *Core) SetEventSink(s trace.EventSink) { c.events = s }
+
+// GrantsPerCycle returns the live per-cycle port-grant histogram.
+func (c *Core) GrantsPerCycle() *metrics.Histogram { return c.grantHist }
+
+// OccupancyGauges returns the live per-cycle occupancy gauges: RUU, LSQ,
+// and store buffer.
+func (c *Core) OccupancyGauges() []*metrics.Gauge {
+	return []*metrics.Gauge{c.ruuOcc, c.lsqOcc, c.sbOcc}
+}
 
 // Done reports whether the run has fully drained.
 func (c *Core) Done() bool {
@@ -199,6 +230,10 @@ func (c *Core) Step() error {
 		return fmt.Errorf("cpu: exceeded %d cycles (committed %d of %d dispatched; RUU %d, head state %d)",
 			c.cfg.MaxCycles, c.stats.Committed, c.stats.Dispatched, c.count, c.entries[c.head].state)
 	}
+	commit0 := c.stats.Committed
+	sbStall0 := c.stats.CommitStallStoreBuf
+	ruuStall0 := c.stats.DispatchStallRUU
+	lsqStall0 := c.stats.DispatchStallLSQ
 	c.hier.Advance(c.now)
 	c.processEvents()
 	c.releaseOrderParked()
@@ -207,6 +242,7 @@ func (c *Core) Step() error {
 	c.issue()
 	c.dispatch()
 	c.drainCompletions()
+	c.accountCycle(commit0, sbStall0, ruuStall0, lsqStall0)
 	c.now++
 	return nil
 }
@@ -569,9 +605,11 @@ func (c *Core) memoryIssue() {
 	if len(c.reqBuf) == 0 {
 		// Still give stateful arbiters (LBIC store-queue drain) their cycle.
 		c.grantBuf = c.arb.Grant(c.now, nil, c.grantBuf[:0])
+		c.grantHist.Observe(0)
 		return
 	}
 	c.grantBuf = c.arb.Grant(c.now, c.reqBuf, c.grantBuf[:0])
+	c.grantHist.Observe(len(c.grantBuf))
 	for _, g := range c.grantBuf {
 		r := c.reqBuf[g]
 		id := c.reqIdx[g]
@@ -582,7 +620,16 @@ func (c *Core) memoryIssue() {
 		} else {
 			token = int64(id)
 		}
-		switch c.hier.Access(c.now, r.Addr, r.Store, token) {
+		out := c.hier.Access(c.now, r.Addr, r.Store, token)
+		if c.events != nil {
+			kind := trace.EvAccess
+			if r.Store {
+				kind = trace.EvWrite
+			}
+			c.events.Emit(trace.Event{Cycle: c.now, Kind: kind, Seq: int64(r.Seq),
+				Bank: -1, Line: r.Addr >> c.lineShift, Cause: out.String()})
+		}
+		switch out {
 		case cache.Blocked:
 			c.stats.PortBlocked++
 		default:

@@ -12,6 +12,10 @@ type TraceOptions struct {
 	// MaxCycles bounds the printed window (0 = until completion).
 	MaxCycles uint64
 	// Every prints one line per this many cycles (0 or 1 = every cycle).
+	// Sampling aligns to absolute cycle numbers (cycle % Every == 0), not
+	// to SkipCycles: with SkipCycles=1003 and Every=10 the first printed
+	// cycle is 1010, so lines from runs with different warm-ups land on
+	// comparable cycles.
 	Every uint64
 }
 
@@ -20,14 +24,17 @@ type TraceOptions struct {
 // occupancy, port grants, loads awaiting ports, the committed store buffer,
 // and what the oldest instruction is doing. It is the visibility tool for
 // understanding *why* a configuration performs as it does.
+//
+// The column header is printed immediately before the first traced cycle;
+// when SkipCycles skips the entire run nothing but the final summary is
+// written.
 func TraceRun(c *Core, w io.Writer, opt TraceOptions) (Stats, error) {
 	if opt.Every == 0 {
 		opt.Every = 1
 	}
-	fmt.Fprintf(w, "%8s %4s %4s %5s %5s %5s %5s %5s %4s  %s\n",
-		"cycle", "com", "iss", "ruu", "lsq", "rdy", "memq", "stbuf", "grnt", "head")
 	var prev Stats
 	printed := uint64(0)
+	headerDone := false
 	for !c.Done() {
 		now := c.Now()
 		head := c.HeadState()
@@ -39,6 +46,11 @@ func TraceRun(c *Core, w io.Writer, opt TraceOptions) (Stats, error) {
 			if opt.MaxCycles > 0 && printed >= opt.MaxCycles {
 				// Keep running silently so final statistics are complete.
 			} else {
+				if !headerDone {
+					fmt.Fprintf(w, "%8s %4s %4s %5s %5s %5s %5s %5s %4s  %s\n",
+						"cycle", "com", "iss", "ruu", "lsq", "rdy", "memq", "stbuf", "grnt", "head")
+					headerDone = true
+				}
 				fmt.Fprintf(w, "%8d %4d %4d %5d %5d %5d %5d %5d %4d  %s\n",
 					now,
 					cur.Committed-prev.Committed,

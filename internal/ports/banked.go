@@ -1,6 +1,10 @@
 package ports
 
-import "fmt"
+import (
+	"fmt"
+
+	"lbic/internal/trace"
+)
 
 // Banked models a traditional multi-bank (interleaved) cache (§3.2, Fig 2b):
 // the cache is split into M single-ported banks, line-interleaved by the
@@ -18,6 +22,11 @@ type Banked struct {
 	// line already granted in that bank — the same-line conflicts §4 shows
 	// dominate (and that combining recovers).
 	SameLineConflicts uint64
+
+	bankAccess   []uint64
+	bankConflict []uint64
+	bankSameLine []uint64
+	events       trace.EventSink
 }
 
 // NewBanked returns a multi-bank arbiter with the given bank count and line
@@ -33,7 +42,14 @@ func NewBankedSelector(banks, lineSize int, kind SelectorKind) (*Banked, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Banked{sel: sel, busy: make([]bool, banks), lines: make([]uint64, banks)}, nil
+	return &Banked{
+		sel:          sel,
+		busy:         make([]bool, banks),
+		lines:        make([]uint64, banks),
+		bankAccess:   make([]uint64, banks),
+		bankConflict: make([]uint64, banks),
+		bankSameLine: make([]uint64, banks),
+	}, nil
 }
 
 // Name implements Arbiter.
@@ -50,9 +66,22 @@ func (a *Banked) PeakWidth() int { return a.sel.Banks() }
 // Selector returns the bank selection function.
 func (a *Banked) Selector() BankSelector { return a.sel }
 
+// SetEventSink implements EventRecorder.
+func (a *Banked) SetEventSink(s trace.EventSink) { a.events = s }
+
+// BankAccesses implements BankObserver: grants per bank.
+func (a *Banked) BankAccesses() []uint64 { return append([]uint64(nil), a.bankAccess...) }
+
+// BankConflicts implements BankObserver: stalled requests per bank.
+func (a *Banked) BankConflicts() []uint64 { return append([]uint64(nil), a.bankConflict...) }
+
+// BankSameLineConflicts returns, per bank, the stalled requests whose line
+// matched the already-granted line — the §4 same-line share.
+func (a *Banked) BankSameLineConflicts() []uint64 { return append([]uint64(nil), a.bankSameLine...) }
+
 // Grant implements Arbiter: scan oldest-first, granting each request whose
 // bank is still free this cycle.
-func (a *Banked) Grant(_ uint64, ready []Request, dst []int) []int {
+func (a *Banked) Grant(now uint64, ready []Request, dst []int) []int {
 	for i := range a.busy {
 		a.busy[i] = false
 	}
@@ -60,13 +89,23 @@ func (a *Banked) Grant(_ uint64, ready []Request, dst []int) []int {
 		b := a.sel.BankOf(ready[i].Addr)
 		if a.busy[b] {
 			a.Conflicts++
+			a.bankConflict[b]++
+			cause := "bank-busy"
 			if a.lines[b] == a.sel.LineOf(ready[i].Addr) {
 				a.SameLineConflicts++
+				a.bankSameLine[b]++
+				cause = "same-line"
+			}
+			if a.events != nil {
+				a.events.Emit(trace.Event{Cycle: now, Kind: trace.EvConflict,
+					Seq: int64(ready[i].Seq), Bank: b,
+					Line: a.sel.LineOf(ready[i].Addr), Cause: cause})
 			}
 			continue
 		}
 		a.busy[b] = true
 		a.lines[b] = a.sel.LineOf(ready[i].Addr)
+		a.bankAccess[b]++
 		dst = append(dst, i)
 	}
 	return dst

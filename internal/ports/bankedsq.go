@@ -25,6 +25,9 @@ type BankedSQ struct {
 	// DirectStores counts stores that wrote the array directly because
 	// their bank's queue was full.
 	DirectStores uint64
+
+	bankAccess   []uint64
+	bankConflict []uint64
 }
 
 // NewBankedSQ returns a banked arbiter with per-bank store queues of the
@@ -41,13 +44,22 @@ func NewBankedSQ(banks, lineSize, depth int) (*BankedSQ, error) {
 		return nil, err
 	}
 	return &BankedSQ{
-		sel:      sel,
-		depth:    depth,
-		busy:     make([]bool, banks),
-		accepted: make([]bool, banks),
-		storeQ:   make([][]uint64, banks),
+		sel:          sel,
+		depth:        depth,
+		busy:         make([]bool, banks),
+		accepted:     make([]bool, banks),
+		storeQ:       make([][]uint64, banks),
+		bankAccess:   make([]uint64, banks),
+		bankConflict: make([]uint64, banks),
 	}, nil
 }
+
+// BankAccesses implements BankObserver: grants per bank (array accesses and
+// store-queue acceptances).
+func (a *BankedSQ) BankAccesses() []uint64 { return append([]uint64(nil), a.bankAccess...) }
+
+// BankConflicts implements BankObserver: stalled requests per bank.
+func (a *BankedSQ) BankConflicts() []uint64 { return append([]uint64(nil), a.bankConflict...) }
 
 // Name implements Arbiter.
 func (a *BankedSQ) Name() string { return fmt.Sprintf("banksq-%d", a.sel.Banks()) }
@@ -87,24 +99,29 @@ func (a *BankedSQ) Grant(_ uint64, ready []Request, dst []int) []int {
 		if ready[i].Store {
 			if !a.accepted[b] && a.enqueue(b, a.sel.LineOf(ready[i].Addr)) {
 				a.accepted[b] = true
+				a.bankAccess[b]++
 				dst = append(dst, i)
 				continue
 			}
 			// Queue full (or acceptance used): direct write via the port.
 			if a.busy[b] {
 				a.Conflicts++
+				a.bankConflict[b]++
 				continue
 			}
 			a.busy[b] = true
 			a.DirectStores++
+			a.bankAccess[b]++
 			dst = append(dst, i)
 			continue
 		}
 		if a.busy[b] {
 			a.Conflicts++
+			a.bankConflict[b]++
 			continue
 		}
 		a.busy[b] = true
+		a.bankAccess[b]++
 		dst = append(dst, i)
 	}
 	// Idle banks (no array access and no queue acceptance this cycle)

@@ -17,6 +17,9 @@ type MultiPortedBanks struct {
 
 	// Conflicts counts requests stalled on a saturated bank.
 	Conflicts uint64
+
+	bankAccess   []uint64
+	bankConflict []uint64
 }
 
 // NewMultiPortedBanks returns an M-bank, P-ports-per-bank arbiter.
@@ -28,8 +31,20 @@ func NewMultiPortedBanks(banks, portsPerBank, lineSize int) (*MultiPortedBanks, 
 	if err != nil {
 		return nil, err
 	}
-	return &MultiPortedBanks{sel: sel, ports: portsPerBank, used: make([]int, banks)}, nil
+	return &MultiPortedBanks{
+		sel:          sel,
+		ports:        portsPerBank,
+		used:         make([]int, banks),
+		bankAccess:   make([]uint64, banks),
+		bankConflict: make([]uint64, banks),
+	}, nil
 }
+
+// BankAccesses implements BankObserver: grants per bank.
+func (a *MultiPortedBanks) BankAccesses() []uint64 { return append([]uint64(nil), a.bankAccess...) }
+
+// BankConflicts implements BankObserver: stalled requests per bank.
+func (a *MultiPortedBanks) BankConflicts() []uint64 { return append([]uint64(nil), a.bankConflict...) }
 
 // Name implements Arbiter, e.g. "mpb-4x2" (4 banks, 2 ports each).
 func (a *MultiPortedBanks) Name() string {
@@ -49,9 +64,11 @@ func (a *MultiPortedBanks) Grant(_ uint64, ready []Request, dst []int) []int {
 		b := a.sel.BankOf(ready[i].Addr)
 		if a.used[b] >= a.ports {
 			a.Conflicts++
+			a.bankConflict[b]++
 			continue
 		}
 		a.used[b]++
+		a.bankAccess[b]++
 		dst = append(dst, i)
 	}
 	return dst

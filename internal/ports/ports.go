@@ -5,7 +5,11 @@
 // arbiter lives in internal/core and shares this package's interface.
 package ports
 
-import "fmt"
+import (
+	"fmt"
+
+	"lbic/internal/trace"
+)
 
 // Request is one memory operation competing for a cache port this cycle.
 type Request struct {
@@ -31,6 +35,22 @@ type Arbiter interface {
 	// first) of the requests that access the cache this cycle, and returns
 	// the extended slice. Granted indices are strictly increasing.
 	Grant(now uint64, ready []Request, dst []int) []int
+}
+
+// BankObserver is implemented by bank-organized arbiters that record
+// per-bank grant and conflict counts; run reports export them as the
+// per-bank histograms behind the paper's §3/§4 conflict characterization.
+// The returned slices are copies, indexed by bank.
+type BankObserver interface {
+	BankAccesses() []uint64
+	BankConflicts() []uint64
+}
+
+// EventRecorder is implemented by arbiters that can emit structured trace
+// events (conflicts with their causes, combines). The sink must be set
+// before the first Grant; a nil sink disables emission.
+type EventRecorder interface {
+	SetEventSink(s trace.EventSink)
 }
 
 // SelectorKind chooses the bank selection function — how an address maps to

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(Event{Cycle: 3, Kind: EvConflict, Seq: 17, Bank: 2, Line: 40, Cause: "same-line"})
+	s.Emit(Event{Cycle: 4, Kind: EvAccess, Seq: -1, Bank: -1, Line: 9, Cause: "hit"})
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Cycle != 3 || e.Kind != EvConflict || e.Seq != 17 || e.Bank != 2 || e.Line != 40 || e.Cause != "same-line" {
+		t.Fatalf("round trip = %+v", e)
+	}
+	// Every field is present on every line, even zero/absent values.
+	for _, key := range []string{"cycle", "kind", "seq", "bank", "line", "cause"} {
+		if !strings.Contains(lines[1], `"`+key+`"`) {
+			t.Errorf("line %q missing field %q", lines[1], key)
+		}
+	}
+}
+
+type failWriter struct{ after int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.after--
+	return len(p), nil
+}
+
+func TestJSONLSinkStickyError(t *testing.T) {
+	s := NewJSONLSink(&failWriter{after: 1})
+	s.Emit(Event{Cycle: 1})
+	if s.Err() != nil {
+		t.Fatalf("first emit failed: %v", s.Err())
+	}
+	s.Emit(Event{Cycle: 2})
+	if s.Err() == nil {
+		t.Fatal("expected sticky error after writer failure")
+	}
+	s.Emit(Event{Cycle: 3}) // must not panic or clear the error
+	if s.Err() == nil {
+		t.Fatal("error was cleared")
+	}
+}
+
+func TestCollectSink(t *testing.T) {
+	var s CollectSink
+	s.Emit(Event{Cycle: 1, Kind: EvMiss})
+	s.Emit(Event{Cycle: 2, Kind: EvCombine})
+	if len(s.Events) != 2 || s.Events[1].Kind != EvCombine {
+		t.Fatalf("events = %+v", s.Events)
+	}
+}

@@ -230,6 +230,10 @@ type Config struct {
 	CPU *CPUConfig
 	// Mem overrides the Table 1 memory hierarchy baseline when non-nil.
 	Mem *MemParams
+	// Events, when non-nil, receives one structured event per cache access,
+	// bank conflict, line combine, miss, and writeback (see
+	// NewJSONLEventSink). Deterministic for a given program and config.
+	Events EventSink
 }
 
 // DefaultConfig returns the paper's baseline with a single ideal port and a
@@ -251,6 +255,9 @@ type Result struct {
 	LBIC *LBICStats
 	// BankConflicts carries conflict counts for Banked runs.
 	BankConflicts uint64
+	// Metrics holds the run's histograms and gauges (CPI stall stack,
+	// per-bank access/conflict counts, grants per cycle, occupancies).
+	Metrics *MetricsRegistry
 }
 
 // Benchmarks lists the ten SPEC95-like kernels in the paper's Table 2 order.
@@ -327,6 +334,76 @@ func buildArbiter(p PortConfig, lineSize int) (ports.Arbiter, error) {
 	}
 }
 
+// sim bundles one run's wired-up components, shared by Simulate and
+// TraceSimulation.
+type sim struct {
+	arb  ports.Arbiter
+	hier *cache.Hierarchy
+	core *cpu.Core
+}
+
+// buildSim constructs and wires the arbiter, hierarchy, and core for one run,
+// attaching cfg.Events to every layer that records structured events.
+func buildSim(prog *Program, cfg Config) (*sim, error) {
+	memParams := cache.DefaultParams()
+	if cfg.Mem != nil {
+		memParams = *cfg.Mem
+	}
+	cpuCfg := cpu.DefaultConfig()
+	if cfg.CPU != nil {
+		cpuCfg = *cfg.CPU
+	}
+	cpuCfg.MaxInsts = cfg.MaxInsts
+
+	arb, err := buildArbiter(cfg.Port, memParams.L1.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	hier, err := cache.NewHierarchy(memParams)
+	if err != nil {
+		return nil, err
+	}
+	machine, err := emu.New(prog)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cpu.New(machine, hier, arb, cpuCfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Events != nil {
+		c.SetEventSink(cfg.Events)
+		hier.SetEventSink(cfg.Events)
+		if er, ok := arb.(ports.EventRecorder); ok {
+			er.SetEventSink(cfg.Events)
+		}
+	}
+	return &sim{arb: arb, hier: hier, core: c}, nil
+}
+
+// result assembles the Result of a finished run, including the metrics
+// registry.
+func (s *sim) result(prog *Program, cfg Config, st cpu.Stats) Result {
+	res := Result{
+		Benchmark: prog.Name,
+		Port:      cfg.Port,
+		Cycles:    st.Cycles,
+		Insts:     st.Committed,
+		IPC:       st.IPC(),
+		CPU:       st,
+		Mem:       s.hier.Stats(),
+		Metrics:   buildMetricsRegistry(s.core, s.hier, s.arb, st),
+	}
+	switch a := s.arb.(type) {
+	case *core.LBIC:
+		ls := a.Stats()
+		res.LBIC = &ls
+	case *ports.Banked:
+		res.BankConflicts = a.Conflicts
+	}
+	return res
+}
+
 // Simulate runs prog on the paper's processor model under the configured
 // port organization and returns the measured statistics.
 func Simulate(prog *Program, cfg Config) (res Result, err error) {
@@ -340,54 +417,15 @@ func Simulate(prog *Program, cfg Config) (res Result, err error) {
 		}
 	}()
 
-	memParams := cache.DefaultParams()
-	if cfg.Mem != nil {
-		memParams = *cfg.Mem
-	}
-	cpuCfg := cpu.DefaultConfig()
-	if cfg.CPU != nil {
-		cpuCfg = *cfg.CPU
-	}
-	cpuCfg.MaxInsts = cfg.MaxInsts
-
-	arb, err := buildArbiter(cfg.Port, memParams.L1.LineSize)
+	s, err := buildSim(prog, cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	hier, err := cache.NewHierarchy(memParams)
-	if err != nil {
-		return Result{}, err
-	}
-	machine, err := emu.New(prog)
-	if err != nil {
-		return Result{}, err
-	}
-	c, err := cpu.New(machine, hier, arb, cpuCfg)
-	if err != nil {
-		return Result{}, err
-	}
-	st, err := c.Run()
+	st, err := s.core.Run()
 	if err != nil {
 		return Result{}, fmt.Errorf("lbic: simulating %q on %s: %w", prog.Name, cfg.Port.Name(), err)
 	}
-
-	res = Result{
-		Benchmark: prog.Name,
-		Port:      cfg.Port,
-		Cycles:    st.Cycles,
-		Insts:     st.Committed,
-		IPC:       st.IPC(),
-		CPU:       st,
-		Mem:       hier.Stats(),
-	}
-	switch a := arb.(type) {
-	case *core.LBIC:
-		s := a.Stats()
-		res.LBIC = &s
-	case *ports.Banked:
-		res.BankConflicts = a.Conflicts
-	}
-	return res, nil
+	return s.result(prog, cfg, st), nil
 }
 
 // Characterize measures a program's Table 2 statistics (memory instruction

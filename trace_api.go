@@ -4,19 +4,21 @@ import (
 	"fmt"
 	"io"
 
-	"lbic/internal/cache"
 	"lbic/internal/cpu"
-	"lbic/internal/emu"
 	"lbic/internal/vm"
 )
 
 // TraceOptions configures TraceSimulation's output window.
 type TraceOptions struct {
-	// SkipCycles fast-forwards past warm-up before printing.
+	// SkipCycles fast-forwards past warm-up before printing. When it skips
+	// the whole run, no per-cycle header or lines are printed — only the
+	// final summary.
 	SkipCycles uint64
 	// MaxCycles bounds the number of printed lines (0 = all).
 	MaxCycles uint64
 	// Every prints one line per this many cycles (0 or 1 = every cycle).
+	// Sampling aligns to absolute cycle numbers (cycle % Every == 0), not
+	// to SkipCycles: skip=1003, every=10 first prints cycle 1010.
 	Every uint64
 }
 
@@ -25,7 +27,8 @@ type TraceOptions struct {
 // occupancy, loads awaiting ports, the committed store buffer, port grants,
 // and the state of the oldest instruction. Use it to see *why* a port
 // organization stalls — e.g., a banked run shows the memory queue backing up
-// while the same cycle window under an LBIC drains it.
+// while the same cycle window under an LBIC drains it. The returned Result
+// is as complete as Simulate's, including Metrics and port statistics.
 func TraceSimulation(prog *Program, cfg Config, w io.Writer, opt TraceOptions) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -36,33 +39,12 @@ func TraceSimulation(prog *Program, cfg Config, w io.Writer, opt TraceOptions) (
 			panic(r)
 		}
 	}()
-	memParams := cache.DefaultParams()
-	if cfg.Mem != nil {
-		memParams = *cfg.Mem
-	}
-	cpuCfg := cpu.DefaultConfig()
-	if cfg.CPU != nil {
-		cpuCfg = *cfg.CPU
-	}
-	cpuCfg.MaxInsts = cfg.MaxInsts
 
-	arb, err := buildArbiter(cfg.Port, memParams.L1.LineSize)
+	s, err := buildSim(prog, cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	hier, err := cache.NewHierarchy(memParams)
-	if err != nil {
-		return Result{}, err
-	}
-	machine, err := emu.New(prog)
-	if err != nil {
-		return Result{}, err
-	}
-	c, err := cpu.New(machine, hier, arb, cpuCfg)
-	if err != nil {
-		return Result{}, err
-	}
-	st, err := cpu.TraceRun(c, w, cpu.TraceOptions{
+	st, err := cpu.TraceRun(s.core, w, cpu.TraceOptions{
 		SkipCycles: opt.SkipCycles,
 		MaxCycles:  opt.MaxCycles,
 		Every:      opt.Every,
@@ -70,13 +52,5 @@ func TraceSimulation(prog *Program, cfg Config, w io.Writer, opt TraceOptions) (
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
-		Benchmark: prog.Name,
-		Port:      cfg.Port,
-		Cycles:    st.Cycles,
-		Insts:     st.Committed,
-		IPC:       st.IPC(),
-		CPU:       st,
-		Mem:       hier.Stats(),
-	}, nil
+	return s.result(prog, cfg, st), nil
 }
