@@ -16,10 +16,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# check is the CI gate: vet plus the full suite under the race detector.
+# check is the CI gate: vet, the full suite under the race detector, and
+# one plain pass so the fuzz corpus seeds run as regression tests.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test ./internal/asm/ ./internal/oracle/
 
 test-short:
 	$(GO) test -short ./...
@@ -33,8 +35,14 @@ tables:
 ablations:
 	$(GO) run ./cmd/lbictables -ablations
 
+# fuzz gives each target a 30s smoke run (go's engine allows one -fuzz
+# target per invocation). Corpus seeds live in each package's testdata/fuzz/.
+FUZZTIME ?= 30s
 fuzz:
-	$(GO) test ./internal/asm/ -fuzz FuzzAssemble -fuzztime 30s
+	$(GO) test ./internal/asm/ -fuzz FuzzAssemble -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/oracle/ -fuzz FuzzArbiterGrant -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/oracle/ -fuzz FuzzCombining -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/oracle/ -fuzz FuzzStoreQueue -fuzztime $(FUZZTIME)
 
 reproduce:
 	./scripts/reproduce.sh

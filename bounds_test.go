@@ -1,6 +1,7 @@
 package lbic_test
 
 import (
+	"strings"
 	"testing"
 
 	"lbic"
@@ -65,6 +66,92 @@ func TestAnalyticGrantConservation(t *testing.T) {
 					bench, port.Name(), completed, res.CPU.Loads+res.CPU.Stores)
 			}
 		}
+	}
+}
+
+// TestPortConfigErrors: every malformed port organization is rejected up
+// front with an error naming the offending parameter, not a panic or a
+// silently clamped run.
+func TestPortConfigErrors(t *testing.T) {
+	refs := []lbic.Ref{{Addr: 0}}
+	cases := []struct {
+		port lbic.PortConfig
+		want string
+	}{
+		{lbic.IdealPort(0), "ideal port count 0 is not positive"},
+		{lbic.ReplicatedPort(0), "replicated port count 0 is not positive"},
+		{lbic.BankedPort(3), "bank count 3 is not a positive power of two"},
+		{lbic.BankedPort(0), "bank count 0 is not a positive power of two"},
+		{lbic.MultiPortedBanksPort(2, 0), "ports per bank 0 is not positive"},
+		{lbic.LBICPort(4, 0), "LBIC line ports 0 is not positive"},
+		// Default 32-byte lines hold 8 four-byte words; a 64-wide combining
+		// bus cannot be built from them (§5.1's N ≤ L/4 constraint).
+		{lbic.LBICPort(4, 64), "combining width 64 exceeds the 8 four-byte words of a 32-byte line"},
+		{lbic.PortConfig{Kind: lbic.LBIC, Banks: 4, LinePorts: 2, StoreQueueDepth: -1},
+			"LBIC store queue depth -1 is not positive"},
+		{lbic.PortConfig{Kind: lbic.BankedStoreQueue, Banks: 4, StoreQueueDepth: -1},
+			"store queue depth -1 is not positive"},
+	}
+	for _, c := range cases {
+		if _, err := lbic.ScenarioCycles(c.port, refs); err == nil {
+			t.Errorf("%+v: accepted, want error %q", c.port, c.want)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%+v: error %q, want it to contain %q", c.port, err, c.want)
+		}
+	}
+}
+
+// TestSimConfigErrors: malformed hierarchy and processor overrides are
+// rejected by Simulate with distinct messages.
+func TestSimConfigErrors(t *testing.T) {
+	prog, err := lbic.BuildPattern("unit-stride")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(mutate func(*lbic.Config)) error {
+		cfg := lbic.DefaultConfig()
+		cfg.MaxInsts = 100
+		mutate(&cfg)
+		_, err := lbic.Simulate(prog, cfg)
+		return err
+	}
+	cases := []struct {
+		name   string
+		mutate func(*lbic.Config)
+		want   string
+	}{
+		{"non-power-of-two line size", func(cfg *lbic.Config) {
+			mem := lbic.DefaultMemParams()
+			mem.L1.LineSize = 24
+			cfg.Mem = &mem
+			cfg.Port = lbic.BankedPort(4) // bank selection needs the line bits
+		}, "line size 24 is not a positive power of two"},
+		{"zero fetch width", func(cfg *lbic.Config) {
+			cpu := lbic.DefaultCPUConfig()
+			cpu.FetchWidth = 0
+			cfg.CPU = &cpu
+		}, "widths must be positive"},
+		{"negative FU count", func(cfg *lbic.Config) {
+			cpu := lbic.DefaultCPUConfig()
+			cpu.FUCount[0] = -1
+			cfg.CPU = &cpu
+		}, "negative unit count"},
+		{"zero RUU", func(cfg *lbic.Config) {
+			cpu := lbic.DefaultCPUConfig()
+			cpu.RUUSize = 0
+			cfg.CPU = &cpu
+		}, "RUU size 0 is not positive"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(c.mutate)
+			if err == nil {
+				t.Fatalf("accepted, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q, want it to contain %q", err, c.want)
+			}
+		})
 	}
 }
 

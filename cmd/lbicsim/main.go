@@ -31,6 +31,7 @@ func main() {
 		insts      = flag.Uint64("insts", 1_000_000, "instructions to simulate")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
 		verbose    = flag.Bool("v", false, "print detailed CPU and memory statistics")
+		verify     = flag.Bool("verify", false, "attach the correctness oracle: check every grant, value, and queue against sequential semantics")
 		showMetric = flag.Bool("metrics", false, "print histogram and gauge tables (CPI stack, per-bank conflicts, ...)")
 		jsonOut    = flag.String("json", "", "write the machine-readable run report to this file (- for stdout)")
 		eventsOut  = flag.String("events", "", "write the structured JSONL event trace to this file (- for stdout)")
@@ -81,6 +82,7 @@ func main() {
 	cfg := lbic.DefaultConfig()
 	cfg.Port = port
 	cfg.MaxInsts = *insts
+	cfg.Verify = *verify
 
 	var eventSink *lbic.JSONLEventSink
 	if *eventsOut != "" {
@@ -159,6 +161,10 @@ func main() {
 	if res.LBIC != nil {
 		fmt.Printf("lbic: leading=%d combined=%d line-conflicts=%d drains=%d\n",
 			res.LBIC.Leading, res.LBIC.Combined, res.LBIC.LineConflicts, res.LBIC.StoreDrains)
+	}
+	if res.Verify != nil {
+		fmt.Printf("verify:      ok (%d grants, %d load values, %d forwards, %d stores checked over %d cycles)\n",
+			res.Verify.Grants, res.Verify.Loads, res.Verify.Forwards, res.Verify.Stores, res.Verify.Cycles)
 	}
 	if *verbose {
 		fmt.Println()

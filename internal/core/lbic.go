@@ -144,6 +144,10 @@ func New(cfg Config) (*LBIC, error) {
 	if err != nil {
 		return nil, err
 	}
+	if words := cfg.LineSize / 4; cfg.LinePorts > words {
+		return nil, fmt.Errorf("core: LBIC combining width %d exceeds the %d four-byte words of a %d-byte line",
+			cfg.LinePorts, words, cfg.LineSize)
+	}
 	return &LBIC{
 		cfg:          cfg,
 		sel:          sel,
@@ -183,6 +187,13 @@ func (a *LBIC) Stats() Stats { return a.stats }
 
 // StoreQueueLen returns the lines queued in bank b's store queue.
 func (a *LBIC) StoreQueueLen(b int) int { return len(a.storeQ[b]) }
+
+// StoreQueueLines appends bank b's queued lines, front first, to dst and
+// returns the extended slice; the verification oracle snapshots queues this
+// way every cycle to assert FIFO draining without per-call allocation.
+func (a *LBIC) StoreQueueLines(b int, dst []uint64) []uint64 {
+	return append(dst, a.storeQ[b]...)
+}
 
 // SetEventSink implements ports.EventRecorder.
 func (a *LBIC) SetEventSink(s trace.EventSink) { a.events = s }

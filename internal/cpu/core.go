@@ -77,6 +77,30 @@ type orderRef struct {
 	idx int32
 }
 
+// Verifier observes the core's memory pipeline for invariant checking. The
+// oracle in internal/oracle implements it; the interface lives here (with
+// only ports/trace types in its signatures) so the checker can depend on the
+// core without an import cycle. All hooks are called synchronously from
+// Step; a violation is latched and surfaced via Err, which the core checks
+// at the end of every cycle.
+type Verifier interface {
+	// ObserveDispatch sees every memory operation entering the window, in
+	// program order, with its ground-truth address, size, and value.
+	ObserveDispatch(d *trace.Dyn)
+	// ObserveGrant sees every arbitration: the ready list handed to the
+	// arbiter (possibly empty — stateful arbiters get a Grant call each
+	// cycle) and the granted indices.
+	ObserveGrant(now uint64, ready []ports.Request, granted []int)
+	// ObserveAccess sees every granted request's hierarchy access; blocked
+	// reports an MSHR-exhaustion rejection (the request will retry).
+	ObserveAccess(now uint64, seq uint64, store, blocked bool)
+	// ObserveForward sees a load serviced by store-to-load forwarding from
+	// the store with sequence number storeSeq.
+	ObserveForward(now uint64, loadSeq, storeSeq uint64)
+	// Err returns the first latched invariant violation, or nil.
+	Err() error
+}
+
 // Core simulates one program run cycle by cycle.
 type Core struct {
 	cfg    Config
@@ -135,6 +159,10 @@ type Core struct {
 	sbOcc     *metrics.Gauge
 	events    trace.EventSink
 	lineShift uint // log2(L1 line size), for event line numbers
+
+	// verify, when non-nil, receives the memory-pipeline observations and
+	// enables the per-cycle self-checks (CPI stall stack sums to cycles).
+	verify Verifier
 }
 
 // New prepares a run of stream against the given memory hierarchy and port
@@ -193,6 +221,10 @@ func (c *Core) Now() uint64 { return c.now }
 // Set it before the first Step.
 func (c *Core) SetEventSink(s trace.EventSink) { c.events = s }
 
+// SetVerifier attaches an invariant checker (nil disables verification).
+// Set it before the first Step; Step fails on the first latched violation.
+func (c *Core) SetVerifier(v Verifier) { c.verify = v }
+
 // GrantsPerCycle returns the live per-cycle port-grant histogram.
 func (c *Core) GrantsPerCycle() *metrics.Histogram { return c.grantHist }
 
@@ -243,6 +275,19 @@ func (c *Core) Step() error {
 	c.dispatch()
 	c.drainCompletions()
 	c.accountCycle(commit0, sbStall0, ruuStall0, lsqStall0)
+	if c.verify != nil {
+		if err := c.verify.Err(); err != nil {
+			return fmt.Errorf("cpu: verify failed at cycle %d: %w", c.now, err)
+		}
+		var sum uint64
+		for _, n := range c.stats.StallCycles {
+			sum += n
+		}
+		if sum != c.now+1 {
+			return fmt.Errorf("cpu: verify failed at cycle %d: CPI stall buckets sum to %d, want %d",
+				c.now, sum, c.now+1)
+		}
+	}
 	c.now++
 	return nil
 }
@@ -439,6 +484,9 @@ func (c *Core) routeLoad(idx int32) {
 	switch blockSeq, disp := c.tryForward(idx); disp {
 	case fwdServiced:
 		c.stats.Forwards++
+		if c.verify != nil {
+			c.verify.ObserveForward(c.now, e.dyn.Seq, blockSeq)
+		}
 		c.schedule(c.now+1, event{kind: evMem, idx: idx})
 		e.state = stMemWait
 		return
@@ -466,7 +514,8 @@ const (
 )
 
 // tryForward finds the youngest older store overlapping the load and decides
-// the load's disposition.
+// the load's disposition; for fwdServiced and fwdBlocked the returned
+// sequence number identifies that store.
 func (c *Core) tryForward(idx int32) (uint64, fwdDisposition) {
 	e := &c.entries[idx]
 	addr, size, seq := e.dyn.Addr, e.dyn.Size, e.dyn.Seq
@@ -496,7 +545,7 @@ func (c *Core) tryForward(idx int32) (uint64, fwdDisposition) {
 	covers := best.addr <= addr && best.addr+uint64(best.size) >= addr+uint64(size)
 	ready := best.ruu < 0 || c.entries[best.ruu].state == stDone
 	if covers && ready {
-		return 0, fwdServiced
+		return best.seq, fwdServiced
 	}
 	// Partial overlap, or the matching store's data is not ready: wait on it.
 	return best.seq, fwdBlocked
@@ -605,10 +654,16 @@ func (c *Core) memoryIssue() {
 	if len(c.reqBuf) == 0 {
 		// Still give stateful arbiters (LBIC store-queue drain) their cycle.
 		c.grantBuf = c.arb.Grant(c.now, nil, c.grantBuf[:0])
+		if c.verify != nil {
+			c.verify.ObserveGrant(c.now, nil, c.grantBuf)
+		}
 		c.grantHist.Observe(0)
 		return
 	}
 	c.grantBuf = c.arb.Grant(c.now, c.reqBuf, c.grantBuf[:0])
+	if c.verify != nil {
+		c.verify.ObserveGrant(c.now, c.reqBuf, c.grantBuf)
+	}
 	c.grantHist.Observe(len(c.grantBuf))
 	for _, g := range c.grantBuf {
 		r := c.reqBuf[g]
@@ -621,6 +676,9 @@ func (c *Core) memoryIssue() {
 			token = int64(id)
 		}
 		out := c.hier.Access(c.now, r.Addr, r.Store, token)
+		if c.verify != nil {
+			c.verify.ObserveAccess(c.now, r.Seq, r.Store, out == cache.Blocked)
+		}
 		if c.events != nil {
 			kind := trace.EvAccess
 			if r.Store {
@@ -776,6 +834,9 @@ func (c *Core) dispatch() {
 		*e = entry{dyn: dyn, deps: e.deps[:0]}
 		e.dyn.Seq = c.nextSeq
 		c.nextSeq++
+		if c.verify != nil && e.dyn.IsMem() {
+			c.verify.ObserveDispatch(&e.dyn)
+		}
 		e.src1Ready = c.wireSource(e.dyn.Src1, idx, 1)
 		e.src2Ready = c.wireSource(e.dyn.Src2, idx, 2)
 

@@ -191,6 +191,7 @@ func (m *Machine) Next(d *trace.Dyn) bool {
 		size := in.Op.MemSize()
 		d.Addr, d.Size = addr, uint8(size)
 		v := m.mem.Read(addr, size)
+		d.Value = v
 		switch in.Op {
 		case isa.Lb:
 			v = uint64(int64(int8(v)))
@@ -203,7 +204,12 @@ func (m *Machine) Next(d *trace.Dyn) bool {
 		addr := m.get(in.Rs1) + uint64(in.Imm)
 		size := in.Op.MemSize()
 		d.Addr, d.Size = addr, uint8(size)
-		m.mem.Write(addr, size, m.get(in.Rs2))
+		v := m.get(in.Rs2)
+		if size < 8 {
+			v &= 1<<(8*uint(size)) - 1
+		}
+		d.Value = v
+		m.mem.Write(addr, size, v)
 
 	case isa.Beq:
 		if m.get(in.Rs1) == m.get(in.Rs2) {

@@ -1,0 +1,170 @@
+package oracle
+
+import (
+	"fmt"
+
+	"lbic/internal/cache"
+	"lbic/internal/cpu"
+	"lbic/internal/emu"
+	"lbic/internal/isa"
+	"lbic/internal/ports"
+	"lbic/internal/vm"
+)
+
+// StackResult is one verified run of the full timed stack.
+type StackResult struct {
+	// Cycles and Committed are the timed run's totals.
+	Cycles    uint64
+	Committed uint64
+	// Summary reports what the attached checker verified.
+	Summary Summary
+	// LoadValues holds each load's checked value by sequence number when
+	// keepValues was requested, for differential comparison.
+	LoadValues map[uint64]uint64
+}
+
+// RunStack runs prog through the full timing stack — functional emulator,
+// Table 1 out-of-order core, default two-level hierarchy — guarded by arb,
+// with the invariant checker attached, and closes the run with Finish
+// against the emulator's final memory. Any violated invariant is an error.
+func RunStack(prog *isa.Program, arb ports.Arbiter, maxInsts uint64, keepValues bool) (res StackResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(*vm.Fault); ok {
+				res, err = StackResult{}, fmt.Errorf("oracle: %q faulted under %s: %w", prog.Name, arb.Name(), f)
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	hier, err := cache.NewHierarchy(cache.DefaultParams())
+	if err != nil {
+		return StackResult{}, err
+	}
+	machine, err := emu.New(prog)
+	if err != nil {
+		return StackResult{}, err
+	}
+	cfg := cpu.DefaultConfig()
+	cfg.MaxInsts = maxInsts
+	if maxInsts > 0 {
+		// Deadlock guard: a correct organization services at least one
+		// request every few cycles; a starving one should fail, not hang.
+		cfg.MaxCycles = 200*maxInsts + 100_000
+	}
+	c, err := cpu.New(machine, hier, arb, cfg)
+	if err != nil {
+		return StackResult{}, err
+	}
+	ck := NewChecker(prog, arb)
+	if keepValues {
+		ck.KeepLoadValues()
+	}
+	c.SetVerifier(ck)
+	st, err := c.Run()
+	if err != nil {
+		return StackResult{}, fmt.Errorf("oracle: %q under %s: %w", prog.Name, arb.Name(), err)
+	}
+	if err := ck.Finish(machine.Mem()); err != nil {
+		return StackResult{}, fmt.Errorf("oracle: %q under %s: %w", prog.Name, arb.Name(), err)
+	}
+	return StackResult{
+		Cycles:     st.Cycles,
+		Committed:  st.Committed,
+		Summary:    ck.Summary(),
+		LoadValues: ck.LoadValues(),
+	}, nil
+}
+
+// DiffResult is the outcome of one differential check.
+type DiffResult struct {
+	// Name is the organization under test.
+	Name string
+	// Ref is the sequential reference machine's ground truth.
+	Ref *Reference
+	// Cycles is the organization's timed cycle count; IdealWide and
+	// IdealOne bracket it (ideal multi-porting at the organization's peak
+	// width, and a single ideal port).
+	Cycles    uint64
+	IdealWide uint64
+	IdealOne  uint64
+	// Summary reports what the run's checker verified.
+	Summary Summary
+}
+
+// Diff differentially checks the organization built by factory against the
+// sequential reference machine: the timed run must satisfy every cycle-level
+// invariant, reproduce the reference's per-load values exactly, and land
+// between ideal multi-porting at its peak width and a single ideal port in
+// cycles. The factory receives the hierarchy's L1 line size and is called
+// once; fresh Ideal arbiters provide the bounds.
+func Diff(prog *isa.Program, factory func(lineSize int) (ports.Arbiter, error), maxInsts uint64) (*DiffResult, error) {
+	lineSize := cache.DefaultParams().L1.LineSize
+	arb, err := factory(lineSize)
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunStack(prog, arb, maxInsts, true)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := RunReference(prog, maxInsts)
+	if err != nil {
+		return nil, err
+	}
+	if got, want := uint64(len(res.LoadValues)), ref.Loads; got != want {
+		return nil, fmt.Errorf("oracle: %q under %s serviced %d loads, reference executed %d",
+			prog.Name, arb.Name(), got, want)
+	}
+	for seq, want := range ref.LoadValues {
+		got, ok := res.LoadValues[seq]
+		if !ok {
+			return nil, fmt.Errorf("oracle: %q under %s never serviced load seq %d", prog.Name, arb.Name(), seq)
+		}
+		if got != want {
+			return nil, fmt.Errorf("oracle: %q under %s: load seq %d read %#x, reference read %#x",
+				prog.Name, arb.Name(), seq, got, want)
+		}
+	}
+
+	wide, err := idealCycles(prog, arb.PeakWidth(), maxInsts)
+	if err != nil {
+		return nil, err
+	}
+	one, err := idealCycles(prog, 1, maxInsts)
+	if err != nil {
+		return nil, err
+	}
+	d := &DiffResult{
+		Name:      arb.Name(),
+		Ref:       ref,
+		Cycles:    res.Cycles,
+		IdealWide: wide,
+		IdealOne:  one,
+		Summary:   res.Summary,
+	}
+	if d.Cycles < d.IdealWide {
+		return nil, fmt.Errorf("oracle: %q under %s took %d cycles, beating ideal %d-porting's %d",
+			prog.Name, d.Name, d.Cycles, arb.PeakWidth(), d.IdealWide)
+	}
+	if d.Cycles > d.IdealOne {
+		return nil, fmt.Errorf("oracle: %q under %s took %d cycles, worse than a single ideal port's %d",
+			prog.Name, d.Name, d.Cycles, d.IdealOne)
+	}
+	return d, nil
+}
+
+// idealCycles runs prog under an ideal width-port cache and returns the
+// cycle count (itself verified).
+func idealCycles(prog *isa.Program, width int, maxInsts uint64) (uint64, error) {
+	arb, err := ports.NewIdeal(width)
+	if err != nil {
+		return 0, err
+	}
+	res, err := RunStack(prog, arb, maxInsts, false)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}

@@ -1,0 +1,264 @@
+package oracle
+
+import (
+	"fmt"
+
+	"lbic/internal/core"
+	"lbic/internal/ports"
+)
+
+// GrantValidator checks, cycle by cycle, that an arbiter's grant sets are
+// structurally legal for its organization. For the organizations whose Grant
+// is a pure function of the ready list (ideal, virtual, replicated, banked,
+// multi-ported banks) it recomputes the exact expected set; for the
+// queue-backed designs (LBIC, banked+store-queue) it asserts the structural
+// rules the hardware imposes — per-bank port limits, same-line combining,
+// the oldest ready request per bank always winning. Unknown (custom)
+// arbiters get only the generic contract checks.
+type GrantValidator struct {
+	arb  ports.Arbiter
+	peak int
+
+	// Per-bank scratch for bank-organized arbiters.
+	used  []int
+	aux   []int
+	seen  []bool
+	lines []uint64
+	// expect is the recomputed grant set for deterministic arbiters.
+	expect []int
+}
+
+// NewGrantValidator returns a validator for arb.
+func NewGrantValidator(arb ports.Arbiter) *GrantValidator {
+	v := &GrantValidator{arb: arb, peak: arb.PeakWidth()}
+	switch a := arb.(type) {
+	case *ports.Banked:
+		v.grow(a.Selector().Banks())
+	case *ports.MultiPortedBanks:
+		v.grow(a.Selector().Banks())
+	case *ports.BankedSQ:
+		v.grow(a.Selector().Banks())
+	case *core.LBIC:
+		v.grow(a.Config().Banks)
+	}
+	return v
+}
+
+func (v *GrantValidator) grow(banks int) {
+	v.used = make([]int, banks)
+	v.aux = make([]int, banks)
+	v.seen = make([]bool, banks)
+	v.lines = make([]uint64, banks)
+}
+
+// Validate checks one cycle's grant set against the ready list the arbiter
+// saw. It must be called with the same now/ready the arbiter's Grant was.
+func (v *GrantValidator) Validate(now uint64, ready []ports.Request, granted []int) error {
+	if len(granted) > v.peak {
+		return fmt.Errorf("cycle %d: %s granted %d requests, peak width is %d",
+			now, v.arb.Name(), len(granted), v.peak)
+	}
+	prev := -1
+	for _, g := range granted {
+		if g <= prev || g >= len(ready) {
+			return fmt.Errorf("cycle %d: %s grant indices %v are not strictly increasing within the %d ready requests",
+				now, v.arb.Name(), granted, len(ready))
+		}
+		prev = g
+	}
+	for i := 1; i < len(ready); i++ {
+		if ready[i].Seq <= ready[i-1].Seq {
+			return fmt.Errorf("cycle %d: ready list not age-ordered: seq %d at index %d after seq %d",
+				now, ready[i].Seq, i, ready[i-1].Seq)
+		}
+	}
+
+	switch a := v.arb.(type) {
+	case *ports.Ideal, *ports.Virtual:
+		n := len(ready)
+		if n > v.peak {
+			n = v.peak
+		}
+		return v.comparePrefixN(now, n, granted)
+	case *ports.Replicated:
+		return v.validateReplicated(now, ready, granted)
+	case *ports.Banked:
+		return v.validateBanked(now, a.Selector(), 1, ready, granted)
+	case *ports.MultiPortedBanks:
+		return v.validateBanked(now, a.Selector(), a.PortsPerBank(), ready, granted)
+	case *ports.BankedSQ:
+		return v.validateBankedSQ(now, a, ready, granted)
+	case *core.LBIC:
+		return v.validateLBIC(now, a, ready, granted)
+	}
+	return nil
+}
+
+// comparePrefixN asserts granted is exactly the indices 0..n-1 (ideal and
+// virtual multi-porting grant the oldest requests unconditionally).
+func (v *GrantValidator) comparePrefixN(now uint64, n int, granted []int) error {
+	ok := len(granted) == n
+	for i := 0; ok && i < n; i++ {
+		ok = granted[i] == i
+	}
+	if !ok {
+		return fmt.Errorf("cycle %d: %s granted %v, want the oldest %d requests",
+			now, v.arb.Name(), granted, n)
+	}
+	return nil
+}
+
+// validateReplicated recomputes the replication design's exact grant: a
+// leading store broadcasts alone; otherwise the store-free prefix of loads,
+// capped at the port count.
+func (v *GrantValidator) validateReplicated(now uint64, ready []ports.Request, granted []int) error {
+	v.expect = v.expect[:0]
+	if len(ready) > 0 {
+		if ready[0].Store {
+			v.expect = append(v.expect, 0)
+		} else {
+			for i := 0; i < len(ready) && len(v.expect) < v.peak && !ready[i].Store; i++ {
+				v.expect = append(v.expect, i)
+			}
+		}
+	}
+	if !equalInts(granted, v.expect) {
+		return fmt.Errorf("cycle %d: %s granted %v, want %v (stores broadcast alone, loads may not pass a store)",
+			now, v.arb.Name(), granted, v.expect)
+	}
+	return nil
+}
+
+// validateBanked recomputes the exact oldest-first bank arbitration: a
+// request is granted iff fewer than perBank older requests already hold its
+// bank. With perBank=1 this is the traditional banked cache; with perBank=P
+// the multi-ported-banks design.
+func (v *GrantValidator) validateBanked(now uint64, sel ports.BankSelector, perBank int, ready []ports.Request, granted []int) error {
+	for i := range v.used {
+		v.used[i] = 0
+	}
+	v.expect = v.expect[:0]
+	for i := range ready {
+		b := sel.BankOf(ready[i].Addr)
+		if v.used[b] < perBank {
+			v.used[b]++
+			v.expect = append(v.expect, i)
+		}
+	}
+	if !equalInts(granted, v.expect) {
+		return fmt.Errorf("cycle %d: %s granted %v, want %v (%d port(s) per bank, oldest first)",
+			now, v.arb.Name(), granted, v.expect, perBank)
+	}
+	return nil
+}
+
+// validateBankedSQ checks the structural rules of the banked+store-queue
+// design: at most two grants per bank per cycle (one array port plus one
+// store-queue acceptance, so a second grant requires a store among them),
+// the oldest ready request of each bank always granted, and queues within
+// capacity.
+func (v *GrantValidator) validateBankedSQ(now uint64, a *ports.BankedSQ, ready []ports.Request, granted []int) error {
+	sel := a.Selector()
+	for i := range v.used {
+		v.used[i] = 0
+		v.aux[i] = 0
+	}
+	for _, g := range granted {
+		b := sel.BankOf(ready[g].Addr)
+		v.used[b]++
+		if ready[g].Store {
+			v.aux[b]++
+		}
+	}
+	for b, n := range v.used {
+		switch {
+		case n > 2:
+			return fmt.Errorf("cycle %d: %s granted %d requests in bank %d, at most 2 (port + queue acceptance)",
+				now, v.arb.Name(), n, b)
+		case n == 2 && v.aux[b] == 0:
+			return fmt.Errorf("cycle %d: %s granted two loads in bank %d, but the second grant needs the store queue",
+				now, v.arb.Name(), b)
+		}
+		if q := a.StoreQueueLen(b); q > a.Depth() {
+			return fmt.Errorf("cycle %d: %s bank %d store queue holds %d lines, capacity %d",
+				now, v.arb.Name(), b, q, a.Depth())
+		}
+	}
+	return v.oldestPerBankGranted(now, sel, ready, granted)
+}
+
+// validateLBIC checks the LBIC's combining rules: every bank's grants touch
+// one line, at most LinePorts of them, and (under the leading policy) the
+// oldest ready request per bank is granted. Store queues stay within depth.
+func (v *GrantValidator) validateLBIC(now uint64, a *core.LBIC, ready []ports.Request, granted []int) error {
+	cfg := a.Config()
+	sel := a.Selector()
+	for i := range v.used {
+		v.used[i] = 0
+	}
+	for _, g := range granted {
+		b := sel.BankOf(ready[g].Addr)
+		line := sel.LineOf(ready[g].Addr)
+		if v.used[b] == 0 {
+			v.lines[b] = line
+		} else if v.lines[b] != line {
+			return fmt.Errorf("cycle %d: %s combined lines %d and %d in bank %d; combining must stay on the open line",
+				now, v.arb.Name(), v.lines[b], line, b)
+		}
+		v.used[b]++
+		if v.used[b] > cfg.LinePorts {
+			return fmt.Errorf("cycle %d: %s granted %d same-line requests in bank %d, line buffer has %d ports",
+				now, v.arb.Name(), v.used[b], b, cfg.LinePorts)
+		}
+	}
+	for b := 0; b < cfg.Banks; b++ {
+		if q := a.StoreQueueLen(b); q > cfg.StoreQueueDepth {
+			return fmt.Errorf("cycle %d: %s bank %d store queue holds %d lines, capacity %d",
+				now, v.arb.Name(), b, q, cfg.StoreQueueDepth)
+		}
+	}
+	if cfg.Policy == core.PolicyLeading {
+		return v.oldestPerBankGranted(now, sel, ready, granted)
+	}
+	return nil
+}
+
+// oldestPerBankGranted asserts that for every bank with at least one ready
+// request, the oldest such request was granted — the no-starvation property
+// shared by every bank-organized design here except the greedy LBIC.
+func (v *GrantValidator) oldestPerBankGranted(now uint64, sel ports.BankSelector, ready []ports.Request, granted []int) error {
+	g := 0
+	for i := range v.seen {
+		v.seen[i] = false
+	}
+	for i := range ready {
+		b := sel.BankOf(ready[i].Addr)
+		if v.seen[b] {
+			continue
+		}
+		v.seen[b] = true
+		hit := false
+		for ; g < len(granted) && granted[g] <= i; g++ {
+			if granted[g] == i {
+				hit = true
+			}
+		}
+		if !hit {
+			return fmt.Errorf("cycle %d: %s did not grant seq %d, the oldest ready request of bank %d",
+				now, v.arb.Name(), ready[i].Seq, b)
+		}
+	}
+	return nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -64,11 +64,25 @@ func (a *BankedSQ) BankConflicts() []uint64 { return append([]uint64(nil), a.ban
 // Name implements Arbiter.
 func (a *BankedSQ) Name() string { return fmt.Sprintf("banksq-%d", a.sel.Banks()) }
 
-// PeakWidth implements Arbiter.
-func (a *BankedSQ) PeakWidth() int { return a.sel.Banks() }
+// PeakWidth implements Arbiter: each bank can serve one array access and
+// accept one store into its queue in the same cycle, so the ceiling is two
+// grants per bank.
+func (a *BankedSQ) PeakWidth() int { return 2 * a.sel.Banks() }
 
 // StoreQueueLen returns the lines queued in bank b's store queue.
 func (a *BankedSQ) StoreQueueLen(b int) int { return len(a.storeQ[b]) }
+
+// StoreQueueLines appends bank b's queued lines, front first, to dst and
+// returns the extended slice (see LBIC.StoreQueueLines).
+func (a *BankedSQ) StoreQueueLines(b int, dst []uint64) []uint64 {
+	return append(dst, a.storeQ[b]...)
+}
+
+// Selector returns the bank selection function.
+func (a *BankedSQ) Selector() BankSelector { return a.sel }
+
+// Depth returns the per-bank store queue capacity.
+func (a *BankedSQ) Depth() int { return a.depth }
 
 func (a *BankedSQ) enqueue(b int, line uint64) bool {
 	for _, l := range a.storeQ[b] {

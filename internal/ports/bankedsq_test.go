@@ -106,7 +106,7 @@ func TestBankedSQValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Name() != "banksq-4" || a.PeakWidth() != 4 {
+	if a.Name() != "banksq-4" || a.PeakWidth() != 8 {
 		t.Error("metadata wrong")
 	}
 }

@@ -46,6 +46,12 @@ func (a *MultiPortedBanks) BankAccesses() []uint64 { return append([]uint64(nil)
 // BankConflicts implements BankObserver: stalled requests per bank.
 func (a *MultiPortedBanks) BankConflicts() []uint64 { return append([]uint64(nil), a.bankConflict...) }
 
+// Selector returns the bank selection function.
+func (a *MultiPortedBanks) Selector() BankSelector { return a.sel }
+
+// PortsPerBank returns P, the true ports per bank.
+func (a *MultiPortedBanks) PortsPerBank() int { return a.ports }
+
 // Name implements Arbiter, e.g. "mpb-4x2" (4 banks, 2 ports each).
 func (a *MultiPortedBanks) Name() string {
 	return fmt.Sprintf("mpb-%dx%d", a.sel.Banks(), a.ports)

@@ -24,6 +24,11 @@ type Dyn struct {
 	// Addr and Size describe the memory access of loads and stores.
 	Addr uint64
 	Size uint8
+	// Value carries the access's data, little-endian in the low Size bytes:
+	// for loads the raw bytes read (before any sign extension), for stores
+	// the bytes written. The timing core ignores it; the verification oracle
+	// uses it as the ground truth the timed memory system must reproduce.
+	Value uint64
 }
 
 // IsLoad reports whether the instruction reads memory.

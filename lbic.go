@@ -25,6 +25,7 @@ import (
 	"lbic/internal/cpu"
 	"lbic/internal/emu"
 	"lbic/internal/isa"
+	"lbic/internal/oracle"
 	"lbic/internal/ports"
 	"lbic/internal/refstream"
 	"lbic/internal/trace"
@@ -58,6 +59,9 @@ type (
 	Distribution = refstream.Distribution
 	// LBICStats reports combining activity of an LBIC run.
 	LBICStats = core.Stats
+	// VerifySummary reports what a verified run's invariant checker
+	// actually covered (see Config.Verify).
+	VerifySummary = oracle.Summary
 )
 
 // NewBuilder starts assembling a custom program.
@@ -234,6 +238,15 @@ type Config struct {
 	// bank conflict, line combine, miss, and writeback (see
 	// NewJSONLEventSink). Deterministic for a given program and config.
 	Events EventSink
+	// Verify attaches the internal/oracle invariant checker to the run:
+	// every cycle's grant set is validated against the organization's
+	// structural rules, no request may be granted twice, loads may not
+	// bypass older overlapping stores, store queues must drain FIFO, every
+	// load must observe exactly the sequential machine's value, and the
+	// final memory image must match. Violations fail the run with a
+	// descriptive error. Complete runs only get the end-of-run checks;
+	// truncated traces (TraceOptions.MaxCycles) are verified per cycle.
+	Verify bool
 }
 
 // DefaultConfig returns the paper's baseline with a single ideal port and a
@@ -258,6 +271,9 @@ type Result struct {
 	// Metrics holds the run's histograms and gauges (CPI stall stack,
 	// per-bank access/conflict counts, grants per cycle, occupancies).
 	Metrics *MetricsRegistry
+	// Verify summarizes what the invariant checker covered; nil unless
+	// Config.Verify was set.
+	Verify *VerifySummary
 }
 
 // Benchmarks lists the ten SPEC95-like kernels in the paper's Table 2 order.
@@ -337,9 +353,12 @@ func buildArbiter(p PortConfig, lineSize int) (ports.Arbiter, error) {
 // sim bundles one run's wired-up components, shared by Simulate and
 // TraceSimulation.
 type sim struct {
-	arb  ports.Arbiter
-	hier *cache.Hierarchy
-	core *cpu.Core
+	arb     ports.Arbiter
+	hier    *cache.Hierarchy
+	core    *cpu.Core
+	machine *emu.Machine
+	// check is the attached invariant checker, nil unless Config.Verify.
+	check *oracle.Checker
 }
 
 // buildSim constructs and wires the arbiter, hierarchy, and core for one run,
@@ -378,7 +397,22 @@ func buildSim(prog *Program, cfg Config) (*sim, error) {
 			er.SetEventSink(cfg.Events)
 		}
 	}
-	return &sim{arb: arb, hier: hier, core: c}, nil
+	s := &sim{arb: arb, hier: hier, core: c, machine: machine}
+	if cfg.Verify {
+		s.check = oracle.NewChecker(prog, arb)
+		c.SetVerifier(s.check)
+	}
+	return s, nil
+}
+
+// finishVerify closes the attached checker against the emulator's final
+// memory; complete is false for runs cut short (truncated traces), where
+// in-flight operations legitimately remain.
+func (s *sim) finishVerify(complete bool) error {
+	if s.check == nil || !complete {
+		return nil
+	}
+	return s.check.Finish(s.machine.Mem())
 }
 
 // result assembles the Result of a finished run, including the metrics
@@ -400,6 +434,10 @@ func (s *sim) result(prog *Program, cfg Config, st cpu.Stats) Result {
 		res.LBIC = &ls
 	case *ports.Banked:
 		res.BankConflicts = a.Conflicts
+	}
+	if s.check != nil {
+		sum := s.check.Summary()
+		res.Verify = &sum
 	}
 	return res
 }
@@ -423,6 +461,9 @@ func Simulate(prog *Program, cfg Config) (res Result, err error) {
 	}
 	st, err := s.core.Run()
 	if err != nil {
+		return Result{}, fmt.Errorf("lbic: simulating %q on %s: %w", prog.Name, cfg.Port.Name(), err)
+	}
+	if err := s.finishVerify(true); err != nil {
 		return Result{}, fmt.Errorf("lbic: simulating %q on %s: %w", prog.Name, cfg.Port.Name(), err)
 	}
 	return s.result(prog, cfg, st), nil

@@ -93,8 +93,11 @@ func (p PortConfig) PeakWidth() int {
 	switch p.Kind {
 	case Ideal, Replicated, VirtualMultiport:
 		return p.Width
-	case Banked, BankedStoreQueue:
+	case Banked:
 		return p.Banks
+	case BankedStoreQueue:
+		// One array access plus one store-queue acceptance per bank.
+		return 2 * p.Banks
 	case LBIC:
 		return p.Banks * p.LinePorts
 	case MultiPortedBanks:

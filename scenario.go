@@ -19,8 +19,9 @@ type Ref struct {
 // hand for Figure 4c: the full pipeline, caches and latencies are out of the
 // picture, isolating pure port/bank/combining behaviour.
 //
-// A limit guards against starvation bugs; exceeding it is reported as an
-// error.
+// A limit of scenarioCyclesPerRef cycles per reference plus
+// scenarioCycleSlack guards against starvation bugs; exceeding it is
+// reported as an error naming how many references never drained.
 func ScenarioCycles(port PortConfig, refs []Ref) (int, error) {
 	lineSize := DefaultConfig().memLineSize()
 	arb, err := buildArbiter(port, lineSize)
@@ -32,17 +33,29 @@ func ScenarioCycles(port PortConfig, refs []Ref) (int, error) {
 		ready[i] = ports.Request{Seq: uint64(i), Addr: r.Addr, Store: r.Store}
 	}
 	cycles := 0
+	limit := scenarioCyclesPerRef*len(refs) + scenarioCycleSlack
 	for now := uint64(0); len(ready) > 0; now++ {
-		if cycles++; cycles > 10*len(refs)+16 {
-			return 0, fmt.Errorf("lbic: scenario did not drain on %s after %d cycles", port.Name(), cycles)
+		if cycles >= limit {
+			return 0, fmt.Errorf("lbic: scenario did not drain on %s: %d of %d references still ready after %d cycles (limit %d)",
+				port.Name(), len(ready), len(refs), cycles, limit)
 		}
 		granted := arb.Grant(now, ready, nil)
 		for i := len(granted) - 1; i >= 0; i-- {
 			ready = append(ready[:granted[i]], ready[granted[i]+1:]...)
 		}
+		cycles++
 	}
 	return cycles, nil
 }
+
+// scenarioCyclesPerRef and scenarioCycleSlack bound a ScenarioCycles drain:
+// every organization in the taxonomy grants at least one ready reference per
+// cycle, so the budget of ten cycles per reference (plus slack for empty or
+// tiny sets) is generous; only a starving arbiter can exhaust it.
+const (
+	scenarioCyclesPerRef = 10
+	scenarioCycleSlack   = 16
+)
 
 // memLineSize resolves the L1 line size a Config implies.
 func (c Config) memLineSize() int {

@@ -1,0 +1,124 @@
+package lbic
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The tables below hand-work the paper's Figure 4c analysis — a set of
+// simultaneously ready references pushed through each port organization —
+// for three reference patterns, with exact cycle counts derived the way the
+// paper derives its example (line size 32, bit-selected banks).
+
+// fig4cCase is one (organization, expected cycles) row.
+type fig4cCase struct {
+	port PortConfig
+	want int
+}
+
+func runScenarioTable(t *testing.T, refs []Ref, cases []fig4cCase) {
+	t.Helper()
+	for _, c := range cases {
+		t.Run(c.port.Name(), func(t *testing.T) {
+			got, err := ScenarioCycles(c.port, refs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != c.want {
+				t.Errorf("%s drained in %d cycles, want %d", c.port.Name(), got, c.want)
+			}
+		})
+	}
+}
+
+// TestScenarioSameLineBurst: four loads to consecutive words of one line.
+// Everything lands in one bank, so banked designs serialize completely
+// while combining recovers the ideal rate.
+func TestScenarioSameLineBurst(t *testing.T) {
+	refs := []Ref{{Addr: 0}, {Addr: 8}, {Addr: 16}, {Addr: 24}}
+	runScenarioTable(t, refs, []fig4cCase{
+		{IdealPort(1), 4},
+		{IdealPort(2), 2},
+		{IdealPort(4), 1},
+		{VirtualPort(4), 1},
+		{ReplicatedPort(2), 2},
+		{ReplicatedPort(4), 1},
+		{BankedPort(2), 4}, // one bank, one port: full serialization
+		{BankedPort(4), 4},
+		{BankedSQPort(4), 4}, // store queues do not help loads
+		{MultiPortedBanksPort(2, 2), 2},
+		{LBICPort(2, 2), 2}, // combining width 2 halves the burst
+		{LBICPort(2, 4), 1}, // width 4 swallows it whole
+	})
+}
+
+// TestScenarioCrossBankSpread: four loads striding one line (32 bytes)
+// apart. Bank counts now matter and combining cannot help — the LBIC falls
+// back to exactly banked behaviour.
+func TestScenarioCrossBankSpread(t *testing.T) {
+	refs := []Ref{{Addr: 0}, {Addr: 32}, {Addr: 64}, {Addr: 96}}
+	runScenarioTable(t, refs, []fig4cCase{
+		{IdealPort(1), 4},
+		{IdealPort(4), 1},
+		{ReplicatedPort(4), 1},
+		{BankedPort(2), 2}, // two banks, two references each
+		{BankedPort(4), 1},
+		{BankedSQPort(4), 1},
+		{MultiPortedBanksPort(2, 2), 1},
+		{LBICPort(2, 2), 2}, // different lines in one bank: no combining
+		{LBICPort(4, 2), 1},
+	})
+}
+
+// TestScenarioStoreBlocked: the Figure 4c shape — a store and a younger
+// store to one line of bank 0 bracketing two loads to one line of bank 1.
+// Replication pays a broadcast cycle per store; banked designs pay bank
+// serialization; the LBIC's store queue and combining finish in one cycle.
+func TestScenarioStoreBlocked(t *testing.T) {
+	refs := []Ref{
+		{Addr: 12*64 + 0, Store: true},
+		{Addr: 10*64 + 32 + 4},
+		{Addr: 10*64 + 32 + 8},
+		{Addr: 12*64 + 12, Store: true},
+	}
+	runScenarioTable(t, refs, []fig4cCase{
+		{IdealPort(1), 4},
+		{IdealPort(2), 2},
+		{IdealPort(4), 1},
+		{ReplicatedPort(2), 3}, // store, loads, store
+		{ReplicatedPort(4), 3},
+		{BankedPort(2), 2},
+		{BankedPort(4), 2},
+		{BankedSQPort(2), 2}, // queue takes S1; S2 writes direct; trailing load waits
+		{MultiPortedBanksPort(2, 2), 1},
+		{LBICPort(2, 2), 1},
+		{LBICPort(4, 2), 1},
+	})
+}
+
+// neverGrant starves every request: ScenarioCycles must detect it and
+// report how much work never drained rather than spinning forever.
+type neverGrant struct{}
+
+func (neverGrant) Name() string                                 { return "never" }
+func (neverGrant) PeakWidth() int                               { return 1 }
+func (neverGrant) Grant(_ uint64, _ []Request, dst []int) []int { return dst }
+
+func TestScenarioStarvationLimit(t *testing.T) {
+	port := CustomPort(func(int) (Arbiter, error) { return neverGrant{}, nil })
+	refs := []Ref{{Addr: 0}, {Addr: 8}, {Addr: 16}, {Addr: 24}}
+	_, err := ScenarioCycles(port, refs)
+	if err == nil {
+		t.Fatal("starving arbiter not detected")
+	}
+	limit := scenarioCyclesPerRef*len(refs) + scenarioCycleSlack
+	for _, frag := range []string{
+		"4 of 4 references still ready",
+		fmt.Sprintf("after %d cycles", limit),
+	} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("starvation error %q does not report %q", err, frag)
+		}
+	}
+}

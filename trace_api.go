@@ -52,5 +52,10 @@ func TraceSimulation(prog *Program, cfg Config, w io.Writer, opt TraceOptions) (
 	if err != nil {
 		return Result{}, err
 	}
+	// End-of-run verification only applies when the trace ran to
+	// completion; a MaxCycles cut legitimately leaves work in flight.
+	if err := s.finishVerify(opt.MaxCycles == 0); err != nil {
+		return Result{}, fmt.Errorf("lbic: tracing %q on %s: %w", prog.Name, cfg.Port.Name(), err)
+	}
 	return s.result(prog, cfg, st), nil
 }
