@@ -19,7 +19,7 @@ const benchInsts = 100_000
 // instruction fraction, store-to-load ratio and 32KB L1 miss rate.
 func BenchmarkTable2Characteristics(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table2(benchInsts)
+		rows, err := experiments.Table2(experiments.NewSweep(benchInsts))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -41,7 +41,7 @@ func BenchmarkTable2Characteristics(b *testing.B) {
 // SPECint/SPECfp averages the paper reports.
 func BenchmarkTable3PortModels(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		d, err := experiments.Table3(benchInsts, nil)
+		d, err := experiments.Table3(experiments.NewSweep(benchInsts))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -61,7 +61,7 @@ func BenchmarkTable3PortModels(b *testing.B) {
 // mapping distribution over an infinite 4-bank cache.
 func BenchmarkFigure3RefStream(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure3(benchInsts)
+		rows, err := experiments.Figure3(experiments.NewSweep(benchInsts))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -78,7 +78,7 @@ func BenchmarkFigure3RefStream(b *testing.B) {
 // configurations.
 func BenchmarkTable4LBIC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		d, err := experiments.Table4(benchInsts, nil)
+		d, err := experiments.Table4(experiments.NewSweep(benchInsts))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -124,7 +124,7 @@ func BenchmarkFigure4cScenario(b *testing.B) {
 // BenchmarkAblationBankSelection sweeps the §3.2 bank selection functions.
 func BenchmarkAblationBankSelection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationBankSelection(benchInsts); err != nil {
+		if _, err := experiments.AblationBankSelection(experiments.NewSweep(benchInsts)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -134,7 +134,7 @@ func BenchmarkAblationBankSelection(b *testing.B) {
 // against its §5.2 proposed greedy largest-group enhancement.
 func BenchmarkAblationCombiningPolicy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationCombiningPolicy(benchInsts); err != nil {
+		if _, err := experiments.AblationCombiningPolicy(experiments.NewSweep(benchInsts)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -144,7 +144,7 @@ func BenchmarkAblationCombiningPolicy(b *testing.B) {
 // deeper LSQs help combining).
 func BenchmarkAblationLSQDepth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationLSQDepth(benchInsts); err != nil {
+		if _, err := experiments.AblationLSQDepth(experiments.NewSweep(benchInsts)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -154,7 +154,7 @@ func BenchmarkAblationLSQDepth(b *testing.B) {
 // banked cache (the §5 memory re-ordering effect).
 func BenchmarkAblationScanDepth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationScanDepth(benchInsts); err != nil {
+		if _, err := experiments.AblationScanDepth(experiments.NewSweep(benchInsts)); err != nil {
 			b.Fatal(err)
 		}
 	}

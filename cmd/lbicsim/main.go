@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ func main() {
 		banks      = flag.Int("banks", 4, "bank count (banked, banksq, mpb, lbic)")
 		linePorts  = flag.Int("lineports", 2, "per-bank line-buffer ports (lbic)")
 		insts      = flag.Uint64("insts", 1_000_000, "instructions to simulate")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this wall-clock time (0 = none)")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
 		verbose    = flag.Bool("v", false, "print detailed CPU and memory statistics")
 		verify     = flag.Bool("verify", false, "attach the correctness oracle: check every grant, value, and queue against sequential semantics")
@@ -107,7 +109,13 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	res, err := lbic.Simulate(prog, cfg)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := lbic.SimulateContext(ctx, prog, cfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -8,16 +8,29 @@
 //	lbictables -all              # everything
 //	lbictables -all -markdown    # Markdown output (for EXPERIMENTS.md)
 //	lbictables -all -insts 2000000
+//
+// Sweeps run cells in parallel (-jobs) with per-cell fault isolation: a
+// panicking or hung simulation costs one table cell (rendered ERR, detailed
+// in a stderr appendix), not the run. -timeout bounds each cell, -keep-going
+// renders every table even when cells fail, and -journal FILE -resume
+// checkpoints completed cells so an interrupted sweep reruns only what is
+// missing. The first ^C stops launching new cells and renders what finished;
+// a second ^C aborts.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"syscall"
 
 	"lbic/internal/experiments"
+	"lbic/internal/runner"
 	"lbic/internal/stats"
 )
 
@@ -31,6 +44,14 @@ func main() {
 		markdown   = flag.Bool("markdown", false, "emit Markdown tables")
 		jsonOut    = flag.Bool("json", false, "emit JSON tables")
 		quiet      = flag.Bool("q", false, "suppress progress output")
+		jobs       = flag.Int("jobs", runtime.NumCPU(), "cells simulated concurrently")
+		timeout    = flag.Duration("timeout", 0, "per-cell time limit (0 = none)")
+		retries    = flag.Int("retries", 1, "re-attempts for failed (non-timeout) cells")
+		keepGoing  = flag.Bool("keep-going", false, "render tables with ERR cells instead of stopping at the first failure")
+		journalP   = flag.String("journal", "", "checkpoint completed cells to this file")
+		resume     = flag.Bool("resume", false, "serve cells already in -journal from the checkpoint")
+		injPanic   = flag.String("inject-panic", "", "comma-separated key substrings whose cells panic (fault-injection testing)")
+		injHang    = flag.String("inject-hang", "", "comma-separated key substrings whose cells hang (fault-injection testing)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile on exit to this file")
 	)
@@ -38,6 +59,10 @@ func main() {
 
 	if !*all && !*ablations && *table == 0 && *figure == 0 {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *resume && *journalP == "" {
+		fmt.Fprintln(os.Stderr, "lbictables: -resume requires -journal FILE")
 		os.Exit(2)
 	}
 	if *cpuProfile != "" {
@@ -64,6 +89,58 @@ func main() {
 			}
 		}()
 	}
+
+	sw := experiments.NewSweep(*insts)
+	sw.Jobs = *jobs
+	sw.Timeout = *timeout
+	sw.Retries = *retries
+	sw.KeepGoing = *keepGoing
+	sw.InjectPanic = splitList(*injPanic)
+	sw.InjectHang = splitList(*injHang)
+	if !*quiet {
+		sw.OnCell = func(key string, err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "  FAIL %s: %v\n", key, err)
+			}
+		}
+	}
+
+	if *journalP != "" {
+		j, err := runner.OpenJournal(*journalP, *resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := j.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "lbictables:", err)
+			}
+		}()
+		if *resume && !*quiet {
+			fmt.Fprintf(os.Stderr, "resuming: %d cells checkpointed in %s\n", j.Resumed(), *journalP)
+		}
+		sw.Journal = j
+	}
+
+	// Two-stage interrupt: the first ^C requests graceful shutdown (in-flight
+	// cells finish or time out, tables render with the rest marked ERR); the
+	// second aborts the run.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sw.Ctx = ctx
+	stop := make(chan struct{})
+	sw.Stop = stop
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "lbictables: interrupted — finishing in-flight cells (^C again to abort)")
+		close(stop)
+		<-sigs
+		fmt.Fprintln(os.Stderr, "lbictables: aborting")
+		cancel()
+	}()
+
 	progress := func(name string) {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "  %s...\n", name)
@@ -87,7 +164,7 @@ func main() {
 
 	if *all || *table == 2 {
 		note("Table 2")
-		rows, err := experiments.Table2(*insts)
+		rows, err := experiments.Table2(sw)
 		if err != nil {
 			fatal(err)
 		}
@@ -95,7 +172,7 @@ func main() {
 	}
 	if *all || *table == 3 {
 		note("Table 3 (130 simulations)")
-		d, err := experiments.Table3(*insts, progress)
+		d, err := experiments.Table3(sw)
 		if err != nil {
 			fatal(err)
 		}
@@ -103,7 +180,7 @@ func main() {
 	}
 	if *all || *figure == 3 {
 		note("Figure 3")
-		rows, err := experiments.Figure3(*insts)
+		rows, err := experiments.Figure3(sw)
 		if err != nil {
 			fatal(err)
 		}
@@ -111,7 +188,7 @@ func main() {
 	}
 	if *all || *table == 4 {
 		note("Table 4 (60 simulations)")
-		d, err := experiments.Table4(*insts, progress)
+		d, err := experiments.Table4(sw)
 		if err != nil {
 			fatal(err)
 		}
@@ -123,7 +200,7 @@ func main() {
 		if budget > experiments.AblationInsts && *insts == experiments.DefaultInsts {
 			budget = experiments.AblationInsts
 		}
-		tables, err := experiments.Ablations(budget, progress)
+		tables, err := experiments.Ablations(sw.WithInsts(budget), progress)
 		if err != nil {
 			fatal(err)
 		}
@@ -131,6 +208,32 @@ func main() {
 			render(t)
 		}
 	}
+
+	// Failure appendix: every ERR cell, on stderr so -json/-markdown stdout
+	// stays machine-readable. Failed-but-rendered sweeps exit zero — the
+	// tables are the product, and a -resume rerun repairs the holes.
+	if fails := sw.Failures(); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d cell(s) failed or were skipped:\n", len(fails))
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "  %s: %v\n", f.Key, f.Err)
+		}
+		if *journalP != "" {
+			fmt.Fprintf(os.Stderr, "rerun with -journal %s -resume to retry only these cells\n", *journalP)
+		}
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func note(what string) {

@@ -88,15 +88,6 @@ func NewArray(g Geometry) (*Array, error) {
 	}, nil
 }
 
-// MustNewArray is NewArray, panicking on error; for static configurations.
-func MustNewArray(g Geometry) *Array {
-	a, err := NewArray(g)
-	if err != nil {
-		panic(err)
-	}
-	return a
-}
-
 // Geometry returns the array's geometry.
 func (a *Array) Geometry() Geometry { return a.geom }
 

@@ -7,6 +7,17 @@ import (
 
 func dm32k() Geometry { return Geometry{Size: 32 << 10, LineSize: 32, Assoc: 1} }
 
+// mustArray builds an array from a geometry known to be valid, failing the
+// test otherwise (NewArray no longer has a panicking variant).
+func mustArray(t *testing.T, g Geometry) *Array {
+	t.Helper()
+	a, err := NewArray(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
 func TestGeometryValidate(t *testing.T) {
 	good := []Geometry{
 		dm32k(),
@@ -46,7 +57,7 @@ func TestGeometryHelpers(t *testing.T) {
 }
 
 func TestArrayHitMiss(t *testing.T) {
-	a := MustNewArray(dm32k())
+	a := mustArray(t, dm32k())
 	if a.Access(0x1000, false) {
 		t.Error("cold access should miss")
 	}
@@ -63,7 +74,7 @@ func TestArrayHitMiss(t *testing.T) {
 }
 
 func TestArrayDirectMappedConflict(t *testing.T) {
-	a := MustNewArray(dm32k())
+	a := mustArray(t, dm32k())
 	// Two addresses 32KB apart map to the same set in a direct-mapped 32KB.
 	a.Install(0x10000, false)
 	victim, dirty, evicted := a.Install(0x10000+32<<10, false)
@@ -82,7 +93,7 @@ func TestArrayDirectMappedConflict(t *testing.T) {
 }
 
 func TestArrayDirtyWriteback(t *testing.T) {
-	a := MustNewArray(dm32k())
+	a := mustArray(t, dm32k())
 	a.Install(0x2000, false)
 	a.Access(0x2000, true) // dirty it
 	if !a.Dirty(0x2000) {
@@ -99,7 +110,7 @@ func TestArrayDirtyWriteback(t *testing.T) {
 
 func TestArrayLRU(t *testing.T) {
 	g := Geometry{Size: 4 * 32, LineSize: 32, Assoc: 4} // one set, 4 ways
-	a := MustNewArray(g)
+	a := mustArray(t, g)
 	addrs := []uint64{0x1000, 0x2000, 0x3000, 0x4000}
 	for _, ad := range addrs {
 		a.Install(ad, false)
@@ -115,7 +126,7 @@ func TestArrayLRU(t *testing.T) {
 }
 
 func TestArrayInstallExisting(t *testing.T) {
-	a := MustNewArray(dm32k())
+	a := mustArray(t, dm32k())
 	a.Install(0x3000, false)
 	_, _, evicted := a.Install(0x3000, true)
 	if evicted {
@@ -130,7 +141,7 @@ func TestArrayInstallExisting(t *testing.T) {
 }
 
 func TestArrayMissRateAndReset(t *testing.T) {
-	a := MustNewArray(dm32k())
+	a := mustArray(t, dm32k())
 	a.Access(0x1000, false) // miss
 	a.Install(0x1000, false)
 	a.Access(0x1000, false) // hit
@@ -155,7 +166,7 @@ func TestNewArrayRejectsBadGeometry(t *testing.T) {
 func TestArrayVictimSameSetQuick(t *testing.T) {
 	g := Geometry{Size: 8 << 10, LineSize: 32, Assoc: 2}
 	f := func(addrs []uint32) bool {
-		a := MustNewArray(g)
+		a := mustArray(t, g)
 		for _, raw := range addrs {
 			addr := uint64(raw)
 			victim, _, evicted := a.Install(addr, false)
@@ -188,7 +199,7 @@ func TestArrayVictimSameSetQuick(t *testing.T) {
 func TestArrayAccessPreservesContentsQuick(t *testing.T) {
 	g := Geometry{Size: 4 << 10, LineSize: 32, Assoc: 4}
 	f := func(install []uint16, probe []uint16) bool {
-		a := MustNewArray(g)
+		a := mustArray(t, g)
 		for _, p := range install {
 			a.Install(uint64(p)*8, false)
 		}
@@ -211,7 +222,7 @@ func TestArrayCapacityQuick(t *testing.T) {
 	g := Geometry{Size: 2 << 10, LineSize: 32, Assoc: 2}
 	capacity := g.Size / g.LineSize
 	f := func(addrs []uint32) bool {
-		a := MustNewArray(g)
+		a := mustArray(t, g)
 		for _, raw := range addrs {
 			a.Install(uint64(raw), false)
 			if a.Lines() > capacity {

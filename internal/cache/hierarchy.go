@@ -173,10 +173,18 @@ func NewHierarchy(p Params) (*Hierarchy, error) {
 	for ring <= p.L2Lat+p.MemLat+1 {
 		ring *= 2
 	}
+	l1, err := NewArray(p.L1)
+	if err != nil {
+		return nil, fmt.Errorf("cache: L1: %w", err)
+	}
+	l2, err := NewArray(p.L2)
+	if err != nil {
+		return nil, fmt.Errorf("cache: L2: %w", err)
+	}
 	return &Hierarchy{
 		params:   p,
-		l1:       MustNewArray(p.L1),
-		l2:       MustNewArray(p.L2),
+		l1:       l1,
+		l2:       l2,
 		mshrs:    make(map[uint64]*mshr),
 		sendBW:   bw,
 		fills:    make([][]uint64, ring),

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"lbic/internal/ports"
 	"lbic/internal/trace"
@@ -197,6 +198,17 @@ func (a *LBIC) StoreQueueLines(b int, dst []uint64) []uint64 {
 
 // SetEventSink implements ports.EventRecorder.
 func (a *LBIC) SetEventSink(s trace.EventSink) { a.events = s }
+
+// DumpState implements ports.StateDumper: per-bank store-queue occupancy for
+// the forward-progress watchdog's hang diagnostics.
+func (a *LBIC) DumpState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", a.Name())
+	for bank, q := range a.storeQ {
+		fmt.Fprintf(&b, " bank%d[sq %d/%d]", bank, len(q), a.cfg.StoreQueueDepth)
+	}
+	return b.String()
+}
 
 // BankAccesses implements ports.BankObserver: grants per bank.
 func (a *LBIC) BankAccesses() []uint64 { return append([]uint64(nil), a.bankAccess...) }

@@ -44,6 +44,14 @@ type Config struct {
 	// MaxCycles aborts a run that exceeds this cycle count (0 = no limit);
 	// it is a deadlock guard for tests.
 	MaxCycles uint64
+	// WatchdogCycles is the forward-progress watchdog: if no instruction
+	// commits and no committed store retires for this many consecutive
+	// cycles, the run aborts with a *HangError diagnosing the stuck pipeline
+	// (occupancies, the oldest blocked sequence number, and the arbiter's
+	// per-bank state). 0 selects DefaultWatchdogCycles; negative disables
+	// the watchdog. Unlike MaxCycles it bounds stall length, not run length,
+	// so it stays valid for arbitrarily long healthy runs.
+	WatchdogCycles int
 }
 
 // DefaultConfig returns the Table 1 baseline: 64-wide fetch/issue/commit,

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -32,6 +33,17 @@ const (
 	stWaitData    // store: address generated, data operand pending
 	stDone
 )
+
+var stateNames = [...]string{"empty", "waiting", "ready", "issued",
+	"order-parked", "fwd-parked", "mem-pending", "mem-wait", "wait-data", "done"}
+
+// String returns the state's diagnostic name.
+func (s state) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "state(?)"
+}
 
 const (
 	evExec    = iota // functional unit completes; result ready
@@ -110,6 +122,12 @@ type Core struct {
 
 	now   uint64
 	stats Stats
+
+	// Forward-progress watchdog: watchdog is the no-progress cycle limit
+	// (0 = disabled), lastProgress the last cycle that committed an
+	// instruction or retired a committed store.
+	watchdog     uint64
+	lastProgress uint64
 
 	// RUU ring.
 	entries []entry
@@ -200,6 +218,12 @@ func New(stream trace.Stream, hier *cache.Hierarchy, arb ports.Arbiter, cfg Conf
 		sbOcc:     metrics.NewGauge("cpu.storebuf_occupancy", "committed stores awaiting write per cycle"),
 		lineShift: uint(hier.Params().L1.LineBits()),
 	}
+	switch {
+	case cfg.WatchdogCycles == 0:
+		c.watchdog = DefaultWatchdogCycles
+	case cfg.WatchdogCycles > 0:
+		c.watchdog = uint64(cfg.WatchdogCycles)
+	}
 	for r := range c.lastWriter {
 		c.lastWriter[r] = -1
 	}
@@ -248,7 +272,29 @@ func (c *Core) fetchExhausted() bool {
 
 // Run steps the core until completion and returns the statistics.
 func (c *Core) Run() (Stats, error) {
+	return c.RunContext(context.Background())
+}
+
+// ctxCheckInterval is how often RunContext polls its context, in cycles: a
+// per-cycle check would cost an interface call in the hottest loop, and a
+// few thousand cycles of cancellation latency is far below human-visible.
+const ctxCheckInterval = 4096
+
+// RunContext steps the core until completion, cooperatively honoring ctx:
+// cancellation (or deadline expiry) aborts the run within ctxCheckInterval
+// cycles with the context's error. This is what makes per-cell deadlines in
+// sweep runners effective without killing the process.
+func (c *Core) RunContext(ctx context.Context) (Stats, error) {
+	countdown := uint64(0)
 	for !c.Done() {
+		if countdown == 0 {
+			if err := ctx.Err(); err != nil {
+				return c.Stats(), fmt.Errorf("cpu: run canceled at cycle %d (committed %d of %d dispatched): %w",
+					c.now, c.stats.Committed, c.stats.Dispatched, err)
+			}
+			countdown = ctxCheckInterval
+		}
+		countdown--
 		if err := c.Step(); err != nil {
 			return c.Stats(), err
 		}
@@ -275,6 +321,12 @@ func (c *Core) Step() error {
 	c.dispatch()
 	c.drainCompletions()
 	c.accountCycle(commit0, sbStall0, ruuStall0, lsqStall0)
+	if c.stats.Committed > commit0 {
+		c.lastProgress = c.now
+	}
+	if c.watchdog != 0 && c.now-c.lastProgress >= c.watchdog {
+		return c.hangError()
+	}
 	if c.verify != nil {
 		if err := c.verify.Err(); err != nil {
 			return fmt.Errorf("cpu: verify failed at cycle %d: %w", c.now, err)
@@ -709,6 +761,7 @@ func (c *Core) memoryIssue() {
 func (c *Core) storeWritten(slot int) {
 	c.storeBuf[slot].live = false
 	c.storeLive--
+	c.lastProgress = c.now
 	for c.sbCount > 0 {
 		head := &c.storeBuf[c.sbHead]
 		if head.live {

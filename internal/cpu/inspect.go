@@ -28,13 +28,11 @@ func (c *Core) HeadState() string {
 		return "empty"
 	}
 	e := &c.entries[c.head]
-	names := []string{"empty", "waiting", "ready", "issued", "order-parked",
-		"fwd-parked", "mem-pending", "mem-wait", "wait-data", "done"}
 	kind := "alu"
 	if e.dyn.IsLoad() {
 		kind = "load"
 	} else if e.dyn.IsStore() {
 		kind = "store"
 	}
-	return kind + "/" + names[e.state]
+	return kind + "/" + e.state.String()
 }

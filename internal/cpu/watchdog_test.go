@@ -1,0 +1,130 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"lbic/internal/cache"
+	"lbic/internal/ports"
+	"lbic/internal/trace"
+)
+
+// starvingArbiter never grants any request, modeling a buggy user-supplied
+// arbiter. It also self-describes via StateDumper so the watchdog test can
+// check the dump is threaded into the error.
+type starvingArbiter struct{}
+
+func (starvingArbiter) Name() string                                     { return "starve" }
+func (starvingArbiter) PeakWidth() int                                   { return 1 }
+func (starvingArbiter) Grant(_ uint64, _ []ports.Request, d []int) []int { return d }
+func (starvingArbiter) DumpState() string                                { return "starve: granting nothing" }
+
+func TestWatchdogTripsOnStarvedLoad(t *testing.T) {
+	// One committing add, then a load the arbiter never grants: no commit can
+	// ever happen again, and the watchdog must identify the load as the
+	// oldest blocked instruction.
+	dyns := []trace.Dyn{
+		alu(r(1), r(2), r(3)),
+		load(r(4), r(5), 0x1000),
+		alu(r(6), r(4), r(1)),
+	}
+	hier, err := cache.NewHierarchy(cache.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.WatchdogCycles = 500
+	c, err := New(trace.NewSliceStream(dyns), hier, starvingArbiter{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run()
+	var hang *HangError
+	if !errors.As(err, &hang) {
+		t.Fatalf("Run() = %v, want *HangError", err)
+	}
+	if hang.OldestSeq != 1 {
+		t.Errorf("OldestSeq = %d, want 1 (the starved load)", hang.OldestSeq)
+	}
+	if hang.Window < 500 {
+		t.Errorf("Window = %d, want >= 500", hang.Window)
+	}
+	if hang.MemPending != 1 {
+		t.Errorf("MemPending = %d, want 1", hang.MemPending)
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"no forward progress",
+		"oldest blocked seq 1",
+		"load/",
+		"starve: granting nothing",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+func TestWatchdogDisabled(t *testing.T) {
+	// With the watchdog disabled the same starved pipeline runs until the
+	// MaxCycles deadlock guard, not a HangError.
+	dyns := []trace.Dyn{load(r(4), r(5), 0x1000)}
+	hier, err := cache.NewHierarchy(cache.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.WatchdogCycles = -1
+	cfg.MaxCycles = 2000
+	c, err := New(trace.NewSliceStream(dyns), hier, starvingArbiter{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run()
+	var hang *HangError
+	if errors.As(err, &hang) {
+		t.Fatalf("watchdog tripped despite WatchdogCycles=-1: %v", err)
+	}
+	if err == nil {
+		t.Fatal("starved run finished without error; MaxCycles guard missing")
+	}
+}
+
+func TestWatchdogAllowsLongHealthyRuns(t *testing.T) {
+	// A healthy run many times longer than the watchdog window must not trip:
+	// the watchdog bounds stall length, not run length.
+	const n = 4000
+	dyns := make([]trace.Dyn, n)
+	for i := range dyns {
+		dyns[i] = alu(r(1), r(1), r(2)) // dependency chain: ~1 commit/cycle
+	}
+	s := runStream(t, dyns, ideal(t, 1), func(c *Config) {
+		c.WatchdogCycles = 50 // far below total cycles, above any real stall
+	})
+	if s.Committed != n {
+		t.Fatalf("committed = %d, want %d", s.Committed, n)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	// Canceling the context stops a run that would otherwise starve forever.
+	dyns := []trace.Dyn{load(r(4), r(5), 0x1000)}
+	hier, err := cache.NewHierarchy(cache.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.WatchdogCycles = -1 // watchdog off: cancellation is the only exit
+	c, err := New(trace.NewSliceStream(dyns), hier, starvingArbiter{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = c.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext(canceled) = %v, want context.Canceled", err)
+	}
+}

@@ -236,8 +236,11 @@ func (m *Machine) Next(d *trace.Dyn) bool {
 		next = int(m.get(in.Rs1))
 
 	default:
-		panic(fmt.Sprintf("emu: program %q pc %d: unimplemented opcode %s",
-			m.prog.Name, m.pc, in.Op))
+		// A guest-level fault, not an API misuse: unvalidated opcodes can
+		// reach here from hand-built programs, and routing through *vm.Fault
+		// lets Simulate report "program faulted" instead of panicking.
+		panic(&vm.Fault{Addr: uint64(m.pc), Why: fmt.Sprintf(
+			"emu: program %q pc %d: unimplemented opcode %s", m.prog.Name, m.pc, in.Op)})
 	}
 
 	m.pc = next

@@ -5,6 +5,7 @@ import (
 
 	"lbic/internal/isa"
 	"lbic/internal/trace"
+	"lbic/internal/vm"
 )
 
 // run executes the program to completion (or max steps) and returns the
@@ -442,4 +443,30 @@ func TestOpcodeCoverage(t *testing.T) {
 	if len(seen) != int(isa.NumOps) {
 		t.Errorf("executed %d distinct opcodes, have %d defined", len(seen), isa.NumOps)
 	}
+}
+
+func TestUnimplementedOpcodePanicsWithFault(t *testing.T) {
+	// An opcode that slips past validation (here: injected after New) must
+	// panic with *vm.Fault so Simulate's recovery turns it into a "program
+	// faulted" error rather than a process abort.
+	b := isa.NewBuilder("bad-op")
+	b.Nop()
+	b.Halt()
+	p := b.MustBuild()
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Code[0] = isa.Inst{Op: isa.NumOps} // out-of-table opcode
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Next did not panic on an unimplemented opcode")
+		}
+		if _, ok := r.(*vm.Fault); !ok {
+			t.Fatalf("panic value %T (%v), want *vm.Fault", r, r)
+		}
+	}()
+	var d trace.Dyn
+	m.Next(&d)
 }

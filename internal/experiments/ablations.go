@@ -4,75 +4,101 @@ import (
 	"fmt"
 
 	"lbic"
+	"lbic/internal/runner"
 	"lbic/internal/stats"
 )
 
 // Ablation studies: design-choice sweeps the paper argues about in prose.
 // Each returns a rendered table; cmd/lbictables -ablations prints them all.
+// Like the main tables, every study runs through the Sweep policy: failed
+// cells render as ERR and column averages cover the cells that succeeded
+// (the old hand-rolled sum/10 averages silently assumed all ten benchmarks
+// completed).
 
 // AblationInsts is the default per-run budget for ablations (secondary
 // studies run at a reduced budget).
 const AblationInsts = 300_000
+
+// fmtMissRate renders a miss rate for the capacity/associativity grids.
+func fmtMissRate(v float64) string { return fmt.Sprintf("%.4f", v) }
 
 // AblationBankSelection compares bank selection functions on the 4-bank
 // cache (§3.2: "the choice of a selection function may not be as critical as
 // we thought since much of the loss of bandwidth due to same bank collisions
 // map to the same cache line"). Word interleaving is the §4 counterpoint:
 // it removes same-line conflicts but costs tag replication.
-func AblationBankSelection(insts uint64) (*stats.Table, error) {
-	kinds := []lbic.BankSelectorKind{lbic.BitSelect, lbic.XorFold, lbic.WordInterleave}
-	t := stats.NewTable(
-		"Ablation: bank selection function (4 banks, IPC)",
-		"Program", "bit-select", "xor-fold", "word-interleave")
-	sums := make([]float64, len(kinds))
-	for _, name := range lbic.BenchmarkNames() {
-		cells := []string{title(name)}
-		for i, kind := range kinds {
+func AblationBankSelection(sw *Sweep) (*stats.Table, error) {
+	kinds := []struct {
+		header string
+		kind   lbic.BankSelectorKind
+	}{
+		{"bit-select", lbic.BitSelect},
+		{"xor-fold", lbic.XorFold},
+		{"word-interleave", lbic.WordInterleave},
+	}
+	cols := make([]column, len(kinds))
+	for i, k := range kinds {
+		kind := k.kind
+		cols[i] = column{header: k.header, cell: func(b string) runner.Cell[float64] {
 			port := lbic.BankedPort(4)
 			port.Selector = kind
-			res, err := simulate(name, port, insts)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, stats.FormatIPC(res.IPC))
-			sums[i] += res.IPC
-		}
-		t.AddRow(cells...)
+			return sw.simBench(b, port)
+		}}
 	}
-	cells := []string{"Average"}
-	for _, s := range sums {
-		cells = append(cells, stats.FormatIPC(s/10))
-	}
-	t.AddRow(cells...)
-	return t, nil
+	return grid(sw, "Ablation: bank selection function (4 banks, IPC)",
+		lbic.BenchmarkNames(), cols, stats.FormatIPC, true)
 }
 
 // AblationCombiningPolicy compares the paper's leading-request LBIC with the
 // §5.2 proposed enhancement (open the line with the largest combinable
-// group, with periodic age rotation against starvation).
-func AblationCombiningPolicy(insts uint64) (*stats.Table, error) {
+// group, with periodic age rotation against starvation). Bespoke rendering:
+// the delta column needs both the leading and greedy cells of a row, so a
+// row with either half failed renders the delta as ERR too.
+func AblationCombiningPolicy(sw *Sweep) (*stats.Table, error) {
+	greedyPort := lbic.LBICPort(4, 2)
+	greedyPort.Greedy = true
+	names := lbic.BenchmarkNames()
+	var cells []runner.Cell[float64]
+	lKeys := make(map[string]string, len(names))
+	gKeys := make(map[string]string, len(names))
+	for _, name := range names {
+		l := sw.simBench(name, lbic.LBICPort(4, 2))
+		g := sw.simBench(name, greedyPort)
+		lKeys[name], gKeys[name] = l.Key, g.Key
+		cells = append(cells, l, g)
+	}
+	got, err := sweepRun(sw, cells)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable(
 		"Ablation: LBIC line selection policy (4x2, IPC)",
 		"Program", "leading", "greedy", "delta")
-	var lSum, gSum float64
-	for _, name := range lbic.BenchmarkNames() {
-		leading, err := simulate(name, lbic.LBICPort(4, 2), insts)
-		if err != nil {
-			return nil, err
+	var lVals, gVals []float64
+	for _, name := range names {
+		l, lok := got[lKeys[name]]
+		g, gok := got[gKeys[name]]
+		delta := errCell
+		if lok && gok && l != 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(g-l)/l)
 		}
-		port := lbic.LBICPort(4, 2)
-		port.Greedy = true
-		greedy, err := simulate(name, port, insts)
-		if err != nil {
-			return nil, err
+		t.AddRow(title(name),
+			fmtCell(l, lok, stats.FormatIPC), fmtCell(g, gok, stats.FormatIPC), delta)
+		if lok {
+			lVals = append(lVals, l)
 		}
-		lSum += leading.IPC
-		gSum += greedy.IPC
-		t.AddRow(title(name), stats.FormatIPC(leading.IPC), stats.FormatIPC(greedy.IPC),
-			fmt.Sprintf("%+.1f%%", 100*(greedy.IPC-leading.IPC)/leading.IPC))
+		if gok {
+			gVals = append(gVals, g)
+		}
 	}
-	t.AddRow("Average", stats.FormatIPC(lSum/10), stats.FormatIPC(gSum/10),
-		fmt.Sprintf("%+.1f%%", 100*(gSum-lSum)/lSum))
+	lAvg, gAvg := stats.Mean(lVals), stats.Mean(gVals)
+	avgDelta := errCell
+	if len(lVals) > 0 && len(gVals) > 0 && lAvg != 0 {
+		avgDelta = fmt.Sprintf("%+.1f%%", 100*(gAvg-lAvg)/lAvg)
+	}
+	t.AddRow("Average",
+		fmtCell(lAvg, len(lVals) > 0, stats.FormatIPC),
+		fmtCell(gAvg, len(gVals) > 0, stats.FormatIPC), avgDelta)
 	return t, nil
 }
 
@@ -80,152 +106,92 @@ func AblationCombiningPolicy(insts uint64) (*stats.Table, error) {
 // (§5.2: "performance of the scheme depends on the depth of the LSQ. Deeper
 // LSQs will help to minimize possible performance degradation due to
 // insufficient data requests for combining").
-func AblationLSQDepth(insts uint64) (*stats.Table, error) {
+func AblationLSQDepth(sw *Sweep) (*stats.Table, error) {
 	depths := []int{16, 32, 64, 128, 512}
-	headers := []string{"Program"}
-	for _, d := range depths {
-		headers = append(headers, fmt.Sprintf("LSQ %d", d))
+	cols := make([]column, len(depths))
+	for i, d := range depths {
+		d := d
+		cols[i] = column{header: fmt.Sprintf("LSQ %d", d), cell: func(b string) runner.Cell[float64] {
+			return sw.simBenchMut(b, lbic.LBICPort(4, 2), fmt.Sprintf("lsq%d", d), func(cfg *lbic.Config) {
+				cpu := defaultCPU()
+				cpu.LSQSize = d
+				cfg.CPU = &cpu
+			})
+		}}
 	}
-	t := stats.NewTable("Ablation: LSQ depth under the 4x2 LBIC (IPC)", headers...)
-	sums := make([]float64, len(depths))
-	for _, name := range lbic.BenchmarkNames() {
-		prog, err := lbic.BuildBenchmark(name)
-		if err != nil {
-			return nil, err
-		}
-		cells := []string{title(name)}
-		for i, d := range depths {
-			cfg := lbic.DefaultConfig()
-			cfg.Port = lbic.LBICPort(4, 2)
-			cfg.MaxInsts = insts
-			cpu := defaultCPU()
-			cpu.LSQSize = d
-			cfg.CPU = &cpu
-			res, err := lbic.Simulate(prog, cfg)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, stats.FormatIPC(res.IPC))
-			sums[i] += res.IPC
-		}
-		t.AddRow(cells...)
-	}
-	cells := []string{"Average"}
-	for _, s := range sums {
-		cells = append(cells, stats.FormatIPC(s/10))
-	}
-	t.AddRow(cells...)
-	return t, nil
+	return grid(sw, "Ablation: LSQ depth under the 4x2 LBIC (IPC)",
+		lbic.BenchmarkNames(), cols, stats.FormatIPC, true)
 }
 
 // AblationStoreQueueDepth sweeps the LBIC per-bank store queue depth on the
 // store-heavy integer codes (§5.2's PA8000-style store queue).
-func AblationStoreQueueDepth(insts uint64) (*stats.Table, error) {
+func AblationStoreQueueDepth(sw *Sweep) (*stats.Table, error) {
 	depths := []int{1, 2, 4, 8, 32}
-	headers := []string{"Program"}
-	for _, d := range depths {
-		headers = append(headers, fmt.Sprintf("SQ %d", d))
-	}
-	t := stats.NewTable("Ablation: LBIC per-bank store queue depth (4x2, IPC, SPECint)", headers...)
-	sums := make([]float64, len(depths))
-	for _, name := range IntNames() {
-		cells := []string{title(name)}
-		for i, d := range depths {
+	cols := make([]column, len(depths))
+	for i, d := range depths {
+		d := d
+		cols[i] = column{header: fmt.Sprintf("SQ %d", d), cell: func(b string) runner.Cell[float64] {
 			port := lbic.LBICPort(4, 2)
 			port.StoreQueueDepth = d
-			res, err := simulate(name, port, insts)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, stats.FormatIPC(res.IPC))
-			sums[i] += res.IPC
-		}
-		t.AddRow(cells...)
+			return sw.simBench(b, port)
+		}}
 	}
-	cells := []string{"Average"}
-	for _, s := range sums {
-		cells = append(cells, stats.FormatIPC(s/float64(len(IntNames()))))
-	}
-	t.AddRow(cells...)
-	return t, nil
+	return grid(sw, "Ablation: LBIC per-bank store queue depth (4x2, IPC, SPECint)",
+		IntNames(), cols, stats.FormatIPC, true)
 }
 
 // AblationStoreQueueDecomposition separates the LBIC's two mechanisms on the
 // store-heavy integer suite: plain banking, banking plus PA8000-style store
 // queues (no combining), and the full LBIC (store queues plus combining).
-func AblationStoreQueueDecomposition(insts uint64) (*stats.Table, error) {
+func AblationStoreQueueDecomposition(sw *Sweep) (*stats.Table, error) {
 	cfgs := []lbic.PortConfig{
 		lbic.BankedPort(4),
 		lbic.BankedSQPort(4),
 		lbic.LBICPort(4, 2),
 		lbic.LBICPort(4, 4),
 	}
-	headers := []string{"Program"}
-	for _, c := range cfgs {
-		headers = append(headers, c.Name())
+	cols := make([]column, len(cfgs))
+	for i, c := range cfgs {
+		c := c
+		cols[i] = column{header: c.Name(), cell: func(b string) runner.Cell[float64] {
+			return sw.simBench(b, c)
+		}}
 	}
-	t := stats.NewTable("Ablation: store queues vs combining (4 banks, IPC)", headers...)
-	sums := make([]float64, len(cfgs))
-	for _, name := range lbic.BenchmarkNames() {
-		cells := []string{title(name)}
-		for i, c := range cfgs {
-			res, err := simulate(name, c, insts)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, stats.FormatIPC(res.IPC))
-			sums[i] += res.IPC
-		}
-		t.AddRow(cells...)
-	}
-	cells := []string{"Average"}
-	for _, s := range sums {
-		cells = append(cells, stats.FormatIPC(s/10))
-	}
-	t.AddRow(cells...)
-	return t, nil
+	return grid(sw, "Ablation: store queues vs combining (4 banks, IPC)",
+		lbic.BenchmarkNames(), cols, stats.FormatIPC, true)
 }
 
 // AblationScanDepth sweeps the LSQ scheduling window (how many ready
 // requests the arbiter sees per cycle) for the banked cache, quantifying the
 // §5 claim that memory re-ordering lets multi-banking fill independent
 // banks.
-func AblationScanDepth(insts uint64) (*stats.Table, error) {
+func AblationScanDepth(sw *Sweep) (*stats.Table, error) {
 	widths := []int{1, 4, 16, 64, 256}
-	headers := []string{"Program"}
-	for _, w := range widths {
-		headers = append(headers, fmt.Sprintf("scan %d", w))
+	cols := make([]column, len(widths))
+	for i, w := range widths {
+		w := w
+		cols[i] = column{header: fmt.Sprintf("scan %d", w), cell: func(b string) runner.Cell[float64] {
+			return sw.simBenchMut(b, lbic.BankedPort(4), fmt.Sprintf("scan%d", w), func(cfg *lbic.Config) {
+				cpu := defaultCPU()
+				cpu.MemScanDepth = w
+				cfg.CPU = &cpu
+			})
+		}}
 	}
-	t := stats.NewTable("Ablation: LSQ scheduling window under bank-4 (IPC)", headers...)
-	sums := make([]float64, len(widths))
-	for _, name := range lbic.BenchmarkNames() {
-		prog, err := lbic.BuildBenchmark(name)
-		if err != nil {
-			return nil, err
+	return grid(sw, "Ablation: LSQ scheduling window under bank-4 (IPC)",
+		lbic.BenchmarkNames(), cols, stats.FormatIPC, true)
+}
+
+// lineSizeMut builds the Config mutation for an L1 line-size override.
+func lineSizeMut(lineSize int) func(*lbic.Config) {
+	return func(cfg *lbic.Config) {
+		mem := lbic.DefaultMemParams()
+		mem.L1.LineSize = lineSize
+		if mem.L2.LineSize < lineSize {
+			mem.L2.LineSize = lineSize
 		}
-		cells := []string{title(name)}
-		for i, w := range widths {
-			cfg := lbic.DefaultConfig()
-			cfg.Port = lbic.BankedPort(4)
-			cfg.MaxInsts = insts
-			cpu := defaultCPU()
-			cpu.MemScanDepth = w
-			cfg.CPU = &cpu
-			res, err := lbic.Simulate(prog, cfg)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, stats.FormatIPC(res.IPC))
-			sums[i] += res.IPC
-		}
-		t.AddRow(cells...)
+		cfg.Mem = &mem
 	}
-	cells := []string{"Average"}
-	for _, s := range sums {
-		cells = append(cells, stats.FormatIPC(s/10))
-	}
-	t.AddRow(cells...)
-	return t, nil
 }
 
 // AblationLineSize sweeps the L1 line size under the 4x2 LBIC and the plain
@@ -233,92 +199,39 @@ func AblationScanDepth(insts uint64) (*stats.Table, error) {
 // more combining opportunity for the LBIC, more same-line conflicts for the
 // plain banked design — the tradeoff behind the paper's footnote-a choice of
 // line interleaving.
-func AblationLineSize(insts uint64) (*stats.Table, error) {
+func AblationLineSize(sw *Sweep) (*stats.Table, error) {
 	lineSizes := []int{16, 32, 64, 128}
-	headers := []string{"Program"}
+	var cols []column
 	for _, ls := range lineSizes {
-		headers = append(headers, fmt.Sprintf("bank %dB", ls))
+		ls := ls
+		cols = append(cols, column{header: fmt.Sprintf("bank %dB", ls), cell: func(b string) runner.Cell[float64] {
+			return sw.simBenchMut(b, lbic.BankedPort(4), fmt.Sprintf("ls%d", ls), lineSizeMut(ls))
+		}})
 	}
 	for _, ls := range lineSizes {
-		headers = append(headers, fmt.Sprintf("lbic %dB", ls))
+		ls := ls
+		cols = append(cols, column{header: fmt.Sprintf("lbic %dB", ls), cell: func(b string) runner.Cell[float64] {
+			return sw.simBenchMut(b, lbic.LBICPort(4, 2), fmt.Sprintf("ls%d", ls), lineSizeMut(ls))
+		}})
 	}
-	t := stats.NewTable("Ablation: L1 line size, 4-bank vs 4x2 LBIC (IPC)", headers...)
-	run := func(name string, port lbic.PortConfig, lineSize int) (float64, error) {
-		prog, err := lbic.BuildBenchmark(name)
-		if err != nil {
-			return 0, err
-		}
-		cfg := lbic.DefaultConfig()
-		cfg.Port = port
-		cfg.MaxInsts = insts
-		mem := lbic.DefaultMemParams()
-		mem.L1.LineSize = lineSize
-		if mem.L2.LineSize < lineSize {
-			mem.L2.LineSize = lineSize
-		}
-		cfg.Mem = &mem
-		res, err := lbic.Simulate(prog, cfg)
-		if err != nil {
-			return 0, err
-		}
-		return res.IPC, nil
-	}
-	sums := make([]float64, 2*len(lineSizes))
-	for _, name := range lbic.BenchmarkNames() {
-		cells := []string{title(name)}
-		for i, ls := range lineSizes {
-			v, err := run(name, lbic.BankedPort(4), ls)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, stats.FormatIPC(v))
-			sums[i] += v
-		}
-		for i, ls := range lineSizes {
-			v, err := run(name, lbic.LBICPort(4, 2), ls)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, stats.FormatIPC(v))
-			sums[len(lineSizes)+i] += v
-		}
-		t.AddRow(cells...)
-	}
-	cells := []string{"Average"}
-	for _, s := range sums {
-		cells = append(cells, stats.FormatIPC(s/10))
-	}
-	t.AddRow(cells...)
-	return t, nil
+	return grid(sw, "Ablation: L1 line size, 4-bank vs 4x2 LBIC (IPC)",
+		lbic.BenchmarkNames(), cols, stats.FormatIPC, true)
 }
 
 // AblationAssociativity reports each kernel's miss rate as the 32KB L1 gains
 // associativity: conflict misses (go, perl, compress hot structures) fall,
 // compulsory streaming misses (the FP codes) do not.
-func AblationAssociativity(insts uint64) (*stats.Table, error) {
+func AblationAssociativity(sw *Sweep) (*stats.Table, error) {
 	assocs := []int{1, 2, 4, 8}
-	headers := []string{"Program"}
-	for _, a := range assocs {
-		headers = append(headers, fmt.Sprintf("%d-way", a))
+	cols := make([]column, len(assocs))
+	for i, a := range assocs {
+		a := a
+		cols[i] = column{header: fmt.Sprintf("%d-way", a), cell: func(b string) runner.Cell[float64] {
+			return sw.missRateCell(b, lbic.Geometry{Size: 32 << 10, LineSize: 32, Assoc: a})
+		}}
 	}
-	t := stats.NewTable("Ablation: 32KB L1 associativity vs miss rate", headers...)
-	for _, name := range lbic.BenchmarkNames() {
-		prog, err := lbic.BuildBenchmark(name)
-		if err != nil {
-			return nil, err
-		}
-		cells := []string{title(name)}
-		for _, a := range assocs {
-			s, err := lbic.CharacterizeWith(prog, insts,
-				lbic.Geometry{Size: 32 << 10, LineSize: 32, Assoc: a})
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, fmt.Sprintf("%.4f", s.MissRate))
-		}
-		t.AddRow(cells...)
-	}
-	return t, nil
+	return grid(sw, "Ablation: 32KB L1 associativity vs miss rate",
+		lbic.BenchmarkNames(), cols, fmtMissRate, false)
 }
 
 // AblationEqualPorts compares designs with the SAME total of eight ports:
@@ -326,7 +239,7 @@ func AblationAssociativity(insts uint64) (*stats.Table, error) {
 // banks, and — at far lower cost than any of them — the 4x2 LBIC's eight
 // effective ports (four single-ported banks plus line buffers). This is the
 // cost/performance frontier the paper's conclusion argues about.
-func AblationEqualPorts(insts uint64) (*stats.Table, error) {
+func AblationEqualPorts(sw *Sweep) (*stats.Table, error) {
 	cfgs := []lbic.PortConfig{
 		lbic.IdealPort(8),
 		lbic.MultiPortedBanksPort(2, 4),
@@ -334,90 +247,45 @@ func AblationEqualPorts(insts uint64) (*stats.Table, error) {
 		lbic.BankedPort(8),
 		lbic.LBICPort(4, 2),
 	}
-	headers := []string{"Program"}
-	for _, c := range cfgs {
-		headers = append(headers, c.Name())
+	cols := make([]column, len(cfgs))
+	for i, c := range cfgs {
+		c := c
+		cols[i] = column{header: c.Name(), cell: func(b string) runner.Cell[float64] {
+			return sw.simBench(b, c)
+		}}
 	}
-	t := stats.NewTable("Ablation: eight total ports, five ways (IPC)", headers...)
-	sums := make([]float64, len(cfgs))
-	for _, name := range lbic.BenchmarkNames() {
-		cells := []string{title(name)}
-		for i, c := range cfgs {
-			res, err := simulate(name, c, insts)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, stats.FormatIPC(res.IPC))
-			sums[i] += res.IPC
-		}
-		t.AddRow(cells...)
-	}
-	cells := []string{"Average"}
-	for _, s := range sums {
-		cells = append(cells, stats.FormatIPC(s/10))
-	}
-	t.AddRow(cells...)
-	return t, nil
+	return grid(sw, "Ablation: eight total ports, five ways (IPC)",
+		lbic.BenchmarkNames(), cols, stats.FormatIPC, true)
 }
 
 // AblationMemoryLatency sweeps the main-memory latency under true-4 and the
 // 4x2 LBIC. The paper stresses bandwidth rather than latency (§2.1, a flat
 // 10-cycle memory); this sweep verifies the design ranking it reports is
 // stable as memory gets slower.
-func AblationMemoryLatency(insts uint64) (*stats.Table, error) {
+func AblationMemoryLatency(sw *Sweep) (*stats.Table, error) {
 	lats := []int{10, 25, 50, 100}
-	headers := []string{"Program"}
+	memLatMut := func(lat int) func(*lbic.Config) {
+		return func(cfg *lbic.Config) {
+			mem := lbic.DefaultMemParams()
+			mem.MemLat = lat
+			cfg.Mem = &mem
+		}
+	}
+	var cols []column
 	for _, l := range lats {
-		headers = append(headers, fmt.Sprintf("true-4 @%d", l))
+		l := l
+		cols = append(cols, column{header: fmt.Sprintf("true-4 @%d", l), cell: func(b string) runner.Cell[float64] {
+			return sw.simBenchMut(b, lbic.IdealPort(4), fmt.Sprintf("mlat%d", l), memLatMut(l))
+		}})
 	}
 	for _, l := range lats {
-		headers = append(headers, fmt.Sprintf("lbic @%d", l))
+		l := l
+		cols = append(cols, column{header: fmt.Sprintf("lbic @%d", l), cell: func(b string) runner.Cell[float64] {
+			return sw.simBenchMut(b, lbic.LBICPort(4, 2), fmt.Sprintf("mlat%d", l), memLatMut(l))
+		}})
 	}
-	t := stats.NewTable("Ablation: main-memory latency (IPC)", headers...)
-	run := func(name string, port lbic.PortConfig, lat int) (float64, error) {
-		prog, err := lbic.BuildBenchmark(name)
-		if err != nil {
-			return 0, err
-		}
-		cfg := lbic.DefaultConfig()
-		cfg.Port = port
-		cfg.MaxInsts = insts
-		mem := lbic.DefaultMemParams()
-		mem.MemLat = lat
-		cfg.Mem = &mem
-		res, err := lbic.Simulate(prog, cfg)
-		if err != nil {
-			return 0, err
-		}
-		return res.IPC, nil
-	}
-	sums := make([]float64, 2*len(lats))
-	for _, name := range lbic.BenchmarkNames() {
-		cells := []string{title(name)}
-		for i, l := range lats {
-			v, err := run(name, lbic.IdealPort(4), l)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, stats.FormatIPC(v))
-			sums[i] += v
-		}
-		for i, l := range lats {
-			v, err := run(name, lbic.LBICPort(4, 2), l)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, stats.FormatIPC(v))
-			sums[len(lats)+i] += v
-		}
-		t.AddRow(cells...)
-	}
-	cells := []string{"Average"}
-	for _, s := range sums {
-		cells = append(cells, stats.FormatIPC(s/10))
-	}
-	t.AddRow(cells...)
-	return t, nil
+	return grid(sw, "Ablation: main-memory latency (IPC)",
+		lbic.BenchmarkNames(), cols, stats.FormatIPC, true)
 }
 
 // AblationL2Bandwidth sweeps how many miss requests the L1-to-L2 path
@@ -425,114 +293,59 @@ func AblationMemoryLatency(insts uint64) (*stats.Table, error) {
 // per cycle; the streaming FP kernels turn out to be bound by exactly that,
 // so widening it exposes how much of their port headroom the memory system
 // was absorbing.
-func AblationL2Bandwidth(insts uint64) (*stats.Table, error) {
+func AblationL2Bandwidth(sw *Sweep) (*stats.Table, error) {
 	widths := []int{1, 2, 4}
-	headers := []string{"Program"}
-	for _, w := range widths {
-		headers = append(headers, fmt.Sprintf("%d/cycle", w))
+	cols := make([]column, len(widths))
+	for i, w := range widths {
+		w := w
+		cols[i] = column{header: fmt.Sprintf("%d/cycle", w), cell: func(b string) runner.Cell[float64] {
+			return sw.simBenchMut(b, lbic.IdealPort(16), fmt.Sprintf("l2bw%d", w), func(cfg *lbic.Config) {
+				mem := lbic.DefaultMemParams()
+				mem.L2PerCycle = w
+				cfg.Mem = &mem
+			})
+		}}
 	}
-	t := stats.NewTable("Ablation: L1-to-L2 request bandwidth under true-16 (IPC)", headers...)
-	sums := make([]float64, len(widths))
-	for _, name := range lbic.BenchmarkNames() {
-		prog, err := lbic.BuildBenchmark(name)
-		if err != nil {
-			return nil, err
-		}
-		cells := []string{title(name)}
-		for i, w := range widths {
-			cfg := lbic.DefaultConfig()
-			cfg.Port = lbic.IdealPort(16)
-			cfg.MaxInsts = insts
-			mem := lbic.DefaultMemParams()
-			mem.L2PerCycle = w
-			cfg.Mem = &mem
-			res, err := lbic.Simulate(prog, cfg)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, stats.FormatIPC(res.IPC))
-			sums[i] += res.IPC
-		}
-		t.AddRow(cells...)
-	}
-	cells := []string{"Average"}
-	for _, s := range sums {
-		cells = append(cells, stats.FormatIPC(s/10))
-	}
-	t.AddRow(cells...)
-	return t, nil
+	return grid(sw, "Ablation: L1-to-L2 request bandwidth under true-16 (IPC)",
+		lbic.BenchmarkNames(), cols, stats.FormatIPC, true)
 }
 
 // AblationAGUs sweeps the load/store (address generation) unit count under
 // four ideal ports — Table 1's "varying # of L/S units". With fewer AGUs
 // than ports, address generation throttles the memory stream before the
 // ports can.
-func AblationAGUs(insts uint64) (*stats.Table, error) {
+func AblationAGUs(sw *Sweep) (*stats.Table, error) {
 	counts := []int{1, 2, 4, 64}
-	headers := []string{"Program"}
-	for _, n := range counts {
-		headers = append(headers, fmt.Sprintf("%d L/S", n))
+	cols := make([]column, len(counts))
+	for i, n := range counts {
+		n := n
+		cols[i] = column{header: fmt.Sprintf("%d L/S", n), cell: func(b string) runner.Cell[float64] {
+			return sw.simBenchMut(b, lbic.IdealPort(4), fmt.Sprintf("agu%d", n), func(cfg *lbic.Config) {
+				cpu := defaultCPU()
+				cpu.FUCount[lbic.ClassLoad] = n
+				cpu.FUCount[lbic.ClassStore] = n
+				cfg.CPU = &cpu
+			})
+		}}
 	}
-	t := stats.NewTable("Ablation: load/store unit count under true-4 (IPC)", headers...)
-	sums := make([]float64, len(counts))
-	for _, name := range lbic.BenchmarkNames() {
-		prog, err := lbic.BuildBenchmark(name)
-		if err != nil {
-			return nil, err
-		}
-		cells := []string{title(name)}
-		for i, n := range counts {
-			cfg := lbic.DefaultConfig()
-			cfg.Port = lbic.IdealPort(4)
-			cfg.MaxInsts = insts
-			cpu := defaultCPU()
-			cpu.FUCount[lbic.ClassLoad] = n
-			cpu.FUCount[lbic.ClassStore] = n
-			cfg.CPU = &cpu
-			res, err := lbic.Simulate(prog, cfg)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, stats.FormatIPC(res.IPC))
-			sums[i] += res.IPC
-		}
-		t.AddRow(cells...)
-	}
-	cells := []string{"Average"}
-	for _, s := range sums {
-		cells = append(cells, stats.FormatIPC(s/10))
-	}
-	t.AddRow(cells...)
-	return t, nil
+	return grid(sw, "Ablation: load/store unit count under true-4 (IPC)",
+		lbic.BenchmarkNames(), cols, stats.FormatIPC, true)
 }
 
 // AblationCacheSize sweeps the L1 capacity and reports the miss rate of each
 // kernel, verifying the working sets respond to capacity the way their
 // SPEC95 namesakes' footprints suggest.
-func AblationCacheSize(insts uint64) (*stats.Table, error) {
+func AblationCacheSize(sw *Sweep) (*stats.Table, error) {
 	sizes := []int{8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
-	headers := []string{"Program"}
-	for _, s := range sizes {
-		headers = append(headers, fmt.Sprintf("%dKB", s>>10))
+	cols := make([]column, len(sizes))
+	for i, size := range sizes {
+		size := size
+		cols[i] = column{header: fmt.Sprintf("%dKB", size>>10), cell: func(b string) runner.Cell[float64] {
+			return sw.missRateCell(b, lbic.Geometry{Size: size, LineSize: 32, Assoc: 1})
+		}}
 	}
-	t := stats.NewTable("Ablation: L1 capacity vs miss rate (direct-mapped, 32B lines)", headers...)
-	for _, name := range lbic.BenchmarkNames() {
-		prog, err := lbic.BuildBenchmark(name)
-		if err != nil {
-			return nil, err
-		}
-		cells := []string{title(name)}
-		for _, size := range sizes {
-			s, err := lbic.CharacterizeWith(prog, insts,
-				lbic.Geometry{Size: size, LineSize: 32, Assoc: 1})
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, fmt.Sprintf("%.4f", s.MissRate))
-		}
-		t.AddRow(cells...)
-	}
-	return t, nil
+	return grid(sw, "Ablation: L1 capacity vs miss rate (direct-mapped, 32B lines)",
+		lbic.BenchmarkNames(), cols, fmtMissRate, false)
 }
 
 // defaultCPU mirrors the simulator's Table 1 baseline for overriding.
@@ -540,11 +353,11 @@ func defaultCPU() lbic.CPUConfig {
 	return lbic.DefaultCPUConfig()
 }
 
-// Ablations runs every ablation study.
-func Ablations(insts uint64, progress func(string)) ([]*stats.Table, error) {
+// Ablations runs every ablation study under the sweep's policy.
+func Ablations(sw *Sweep, progress func(string)) ([]*stats.Table, error) {
 	studies := []struct {
 		name string
-		run  func(uint64) (*stats.Table, error)
+		run  func(*Sweep) (*stats.Table, error)
 	}{
 		{"bank selection", AblationBankSelection},
 		{"combining policy", AblationCombiningPolicy},
@@ -567,7 +380,7 @@ func Ablations(insts uint64, progress func(string)) ([]*stats.Table, error) {
 		if progress != nil {
 			progress(s.name)
 		}
-		t, err := s.run(insts)
+		t, err := s.run(sw)
 		if err != nil {
 			return nil, fmt.Errorf("ablation %s: %w", s.name, err)
 		}

@@ -10,8 +10,15 @@ import (
 // measured values (the lbic package's integration tests cover shapes).
 const tinyInsts = 20_000
 
+// testSweep runs with mild parallelism to keep the sweep tests quick.
+func testSweep(insts uint64) *Sweep {
+	sw := NewSweep(insts)
+	sw.Jobs = 4
+	return sw
+}
+
 func TestTable2(t *testing.T) {
-	rows, err := Table2(tinyInsts)
+	rows, err := Table2(testSweep(tinyInsts))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +43,7 @@ func TestTable2(t *testing.T) {
 }
 
 func TestFigure3(t *testing.T) {
-	rows, err := Figure3(tinyInsts)
+	rows, err := Figure3(testSweep(tinyInsts))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +72,7 @@ func TestTable3SingleBench(t *testing.T) {
 	if testing.Short() {
 		t.Skip("table sweep is slow")
 	}
-	d, err := Table3(tinyInsts, nil)
+	d, err := Table3(testSweep(tinyInsts))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +104,7 @@ func TestTable4(t *testing.T) {
 	if testing.Short() {
 		t.Skip("table sweep is slow")
 	}
-	d, err := Table4(tinyInsts, nil)
+	d, err := Table4(testSweep(tinyInsts))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +145,7 @@ func TestAblationsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation sweeps are slow")
 	}
-	tables, err := Ablations(5_000, nil)
+	tables, err := Ablations(testSweep(5_000), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +165,7 @@ func TestAblationsSmoke(t *testing.T) {
 }
 
 func TestFigure3Banks(t *testing.T) {
-	tab, err := Figure3Banks(20_000)
+	tab, err := Figure3Banks(testSweep(20_000))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"lbic"
+	"lbic/internal/runner"
 	"lbic/internal/stats"
 )
 
@@ -10,7 +11,7 @@ import (
 // stream property each design responds to: combining wins same-line bursts,
 // banking wins balanced strides and random streams, replication loses store
 // bursts, and nothing helps a pointer chase.
-func PatternMatrix(insts uint64) (*stats.Table, error) {
+func PatternMatrix(sw *Sweep) (*stats.Table, error) {
 	ports := []lbic.PortConfig{
 		lbic.IdealPort(1),
 		lbic.IdealPort(4),
@@ -20,27 +21,18 @@ func PatternMatrix(insts uint64) (*stats.Table, error) {
 		lbic.LBICPort(4, 2),
 		lbic.LBICPort(4, 4),
 	}
-	headers := []string{"Pattern"}
-	for _, p := range ports {
-		headers = append(headers, p.Name())
-	}
-	t := stats.NewTable("Access-pattern matrix (IPC)", headers...)
+	var names []string
 	for _, pat := range lbic.Patterns() {
-		prog := pat.Build()
-		cells := []string{pat.Name}
-		for _, port := range ports {
-			cfg := lbic.DefaultConfig()
-			cfg.Port = port
-			cfg.MaxInsts = insts
-			res, err := lbic.Simulate(prog, cfg)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, stats.FormatIPC(res.IPC))
-		}
-		t.AddRow(cells...)
+		names = append(names, pat.Name)
 	}
-	return t, nil
+	cols := make([]column, len(ports))
+	for i, port := range ports {
+		port := port
+		cols[i] = column{header: port.Name(), cell: func(pat string) runner.Cell[float64] {
+			return sw.simPattern(pat, port)
+		}}
+	}
+	return grid(sw, "Access-pattern matrix (IPC)", names, cols, stats.FormatIPC, false)
 }
 
 func bankedXor(banks int) lbic.PortConfig {

@@ -1,6 +1,9 @@
 package ports
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // BankedSQ is a multi-bank cache whose banks each carry a store queue, in
 // the style of the HP PA8000 the paper cites (§5.2: "the LBIC relies on a
@@ -80,6 +83,17 @@ func (a *BankedSQ) StoreQueueLines(b int, dst []uint64) []uint64 {
 
 // Selector returns the bank selection function.
 func (a *BankedSQ) Selector() BankSelector { return a.sel }
+
+// DumpState implements StateDumper: per-bank store-queue occupancy for hang
+// diagnostics.
+func (a *BankedSQ) DumpState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", a.Name())
+	for bank, q := range a.storeQ {
+		fmt.Fprintf(&b, " bank%d[sq %d/%d]", bank, len(q), a.depth)
+	}
+	return b.String()
+}
 
 // Depth returns the per-bank store queue capacity.
 func (a *BankedSQ) Depth() int { return a.depth }

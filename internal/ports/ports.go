@@ -53,6 +53,14 @@ type EventRecorder interface {
 	SetEventSink(s trace.EventSink)
 }
 
+// StateDumper is implemented by stateful arbiters that can describe their
+// internal queues in one line. The forward-progress watchdog includes the
+// dump in its hang diagnostics, so a starved bank or a store queue that
+// never drains is visible from the error alone.
+type StateDumper interface {
+	DumpState() string
+}
+
 // SelectorKind chooses the bank selection function — how an address maps to
 // a bank. §3.2 of the paper discusses the tradeoffs.
 type SelectorKind int

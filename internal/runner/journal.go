@@ -1,0 +1,151 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal is a checkpoint of completed sweep cells: one JSONL line per
+// success, keyed by the cell's stable configuration key. Opening it in
+// resume mode loads every prior entry, so a rerun serves finished cells from
+// the checkpoint and only re-executes the cells that failed or never ran —
+// failures are deliberately not recorded. A Journal is safe for concurrent
+// use by one process; it does not lock the file against other processes.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	entries  map[string]json.RawMessage
+	loaded   int // entries read from an existing file at open
+	writeErr error
+}
+
+// journalLine is the on-disk record. The version field guards against
+// reading a future format as data.
+type journalLine struct {
+	V     int             `json:"v"`
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+const journalVersion = 1
+
+// OpenJournal opens (or creates) a journal at path. With resume, existing
+// entries are loaded and new ones appended; without, the file is truncated.
+// Corrupt lines — a torn write from a killed process — are skipped, not
+// fatal: the affected cells simply rerun.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	j := &Journal{entries: make(map[string]json.RawMessage)}
+	if resume {
+		if err := j.load(path); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if resume {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: opening journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+func (j *Journal) load(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil // first run of a sweep the user already marked resumable
+	}
+	if err != nil {
+		return fmt.Errorf("runner: reading journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var line journalLine
+		if json.Unmarshal(sc.Bytes(), &line) != nil || line.V != journalVersion || line.Key == "" {
+			continue
+		}
+		j.entries[line.Key] = line.Value
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("runner: reading journal: %w", err)
+	}
+	j.loaded = len(j.entries)
+	return nil
+}
+
+// Lookup returns the recorded value for key, if present.
+func (j *Journal) Lookup(key string) (json.RawMessage, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	raw, ok := j.entries[key]
+	return raw, ok
+}
+
+// Record checkpoints a completed cell. Write errors are sticky and surface
+// from Close; the in-memory entry is kept either way so the running sweep
+// still benefits.
+func (j *Journal) Record(key string, value any) {
+	raw, err := json.Marshal(value)
+	if err != nil {
+		j.fail(fmt.Errorf("runner: journaling %q: %w", key, err))
+		return
+	}
+	line, err := json.Marshal(journalLine{V: journalVersion, Key: key, Value: raw})
+	if err != nil {
+		j.fail(fmt.Errorf("runner: journaling %q: %w", key, err))
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.entries[key] = raw
+	if j.f == nil {
+		return
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil && j.writeErr == nil {
+		j.writeErr = fmt.Errorf("runner: journaling %q: %w", key, err)
+	}
+}
+
+func (j *Journal) fail(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.writeErr == nil {
+		j.writeErr = err
+	}
+}
+
+// Resumed returns how many entries were loaded from disk at open.
+func (j *Journal) Resumed() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.loaded
+}
+
+// Len returns the number of checkpointed cells, loaded plus recorded.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Close flushes the journal file and reports the first write error, if any.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		if err := j.f.Close(); err != nil && j.writeErr == nil {
+			j.writeErr = fmt.Errorf("runner: closing journal: %w", err)
+		}
+		j.f = nil
+	}
+	return j.writeErr
+}

@@ -18,7 +18,9 @@
 package lbic
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 
 	"lbic/internal/cache"
 	"lbic/internal/core"
@@ -442,24 +444,43 @@ func (s *sim) result(prog *Program, cfg Config, st cpu.Stats) Result {
 	return res
 }
 
+// recoverSimPanic converts panics escaping a simulation into errors: guest
+// faults (*vm.Fault — bad addresses, unimplemented opcodes) become a
+// "program faulted" error, and any other panic — a bug in a user-supplied
+// arbiter, or in the simulator itself — becomes an error carrying the panic
+// value and stack instead of tearing down the process. This is what lets the
+// sweep runner isolate one broken cell from the rest of a table. Call it
+// directly in a defer statement so recover sees the panicking frame.
+func recoverSimPanic(prog *Program, errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if f, ok := r.(*vm.Fault); ok {
+		*errp = fmt.Errorf("lbic: program %q faulted: %w", prog.Name, f)
+		return
+	}
+	*errp = fmt.Errorf("lbic: simulating %q panicked: %v\n%s", prog.Name, r, debug.Stack())
+}
+
 // Simulate runs prog on the paper's processor model under the configured
-// port organization and returns the measured statistics.
-func Simulate(prog *Program, cfg Config) (res Result, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if f, ok := r.(*vm.Fault); ok {
-				err = fmt.Errorf("lbic: program %q faulted: %w", prog.Name, f)
-				return
-			}
-			panic(r)
-		}
-	}()
+// port organization and returns the measured statistics. It is
+// SimulateContext without cancellation.
+func Simulate(prog *Program, cfg Config) (Result, error) {
+	return SimulateContext(context.Background(), prog, cfg)
+}
+
+// SimulateContext is Simulate under a context: canceling ctx (or its deadline
+// expiring) stops the run at the next cycle-poll boundary with the context's
+// error. Guest faults and internal panics surface as errors, never panics.
+func SimulateContext(ctx context.Context, prog *Program, cfg Config) (res Result, err error) {
+	defer recoverSimPanic(prog, &err)
 
 	s, err := buildSim(prog, cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	st, err := s.core.Run()
+	st, err := s.core.RunContext(ctx)
 	if err != nil {
 		return Result{}, fmt.Errorf("lbic: simulating %q on %s: %w", prog.Name, cfg.Port.Name(), err)
 	}

@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"lbic/internal/cpu"
-	"lbic/internal/vm"
 )
 
 // TraceOptions configures TraceSimulation's output window.
@@ -30,15 +29,7 @@ type TraceOptions struct {
 // while the same cycle window under an LBIC drains it. The returned Result
 // is as complete as Simulate's, including Metrics and port statistics.
 func TraceSimulation(prog *Program, cfg Config, w io.Writer, opt TraceOptions) (res Result, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if f, ok := r.(*vm.Fault); ok {
-				err = fmt.Errorf("lbic: program %q faulted: %w", prog.Name, f)
-				return
-			}
-			panic(r)
-		}
-	}()
+	defer recoverSimPanic(prog, &err)
 
 	s, err := buildSim(prog, cfg)
 	if err != nil {
