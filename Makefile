@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench tables figures ablations fuzz reproduce clean
+.PHONY: all build vet test test-short check bench bench-smoke tables figures ablations fuzz reproduce clean
 
 all: build vet test
 
@@ -26,8 +26,20 @@ check:
 test-short:
 	$(GO) test -short ./...
 
+# bench runs the full benchmark suite (table regenerations, simulator
+# throughput live vs trace replay, and the zero-alloc core microbenchmark)
+# and records the results as JSON. BENCH_PR4.json in the repo root is the
+# checked-in snapshot; regenerate it here after performance work.
+BENCH_OUT ?= BENCH_PR4.json
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x .
+	$(GO) test -run '^$$' -bench . -benchmem . ./internal/cpu/ \
+		| $(GO) run ./scripts/benchjson -o $(BENCH_OUT)
+
+# bench-smoke is the CI gate: one iteration of every benchmark, parsed by
+# benchjson so a broken benchmark or malformed output fails the build.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . ./internal/cpu/ \
+		| $(GO) run ./scripts/benchjson -o /dev/null
 
 tables:
 	$(GO) run ./cmd/lbictables -all

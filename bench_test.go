@@ -18,6 +18,7 @@ const benchInsts = 100_000
 // BenchmarkTable2Characteristics regenerates Table 2: per-benchmark memory
 // instruction fraction, store-to-load ratio and 32KB L1 miss rate.
 func BenchmarkTable2Characteristics(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table2(experiments.NewSweep(benchInsts))
 		if err != nil {
@@ -40,6 +41,7 @@ func BenchmarkTable2Characteristics(b *testing.B) {
 // replicated (Repl) and multi-bank (Bank) designs at 1-16 ports, with the
 // SPECint/SPECfp averages the paper reports.
 func BenchmarkTable3PortModels(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d, err := experiments.Table3(experiments.NewSweep(benchInsts))
 		if err != nil {
@@ -60,6 +62,7 @@ func BenchmarkTable3PortModels(b *testing.B) {
 // BenchmarkFigure3RefStream regenerates Figure 3: the consecutive-reference
 // mapping distribution over an infinite 4-bank cache.
 func BenchmarkFigure3RefStream(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Figure3(experiments.NewSweep(benchInsts))
 		if err != nil {
@@ -77,6 +80,7 @@ func BenchmarkFigure3RefStream(b *testing.B) {
 // BenchmarkTable4LBIC regenerates Table 4: IPC of the six MxN LBIC
 // configurations.
 func BenchmarkTable4LBIC(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d, err := experiments.Table4(experiments.NewSweep(benchInsts))
 		if err != nil {
@@ -95,6 +99,7 @@ func BenchmarkTable4LBIC(b *testing.B) {
 
 // BenchmarkFigure4cScenario regenerates the paper's §5 worked example.
 func BenchmarkFigure4cScenario(b *testing.B) {
+	b.ReportAllocs()
 	refs := []lbic.Ref{
 		{Addr: 12*64 + 0, Store: true},
 		{Addr: 10*64 + 32 + 4},
@@ -123,6 +128,7 @@ func BenchmarkFigure4cScenario(b *testing.B) {
 
 // BenchmarkAblationBankSelection sweeps the §3.2 bank selection functions.
 func BenchmarkAblationBankSelection(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationBankSelection(experiments.NewSweep(benchInsts)); err != nil {
 			b.Fatal(err)
@@ -133,6 +139,7 @@ func BenchmarkAblationBankSelection(b *testing.B) {
 // BenchmarkAblationCombiningPolicy compares the paper's leading-request LBIC
 // against its §5.2 proposed greedy largest-group enhancement.
 func BenchmarkAblationCombiningPolicy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationCombiningPolicy(experiments.NewSweep(benchInsts)); err != nil {
 			b.Fatal(err)
@@ -143,6 +150,7 @@ func BenchmarkAblationCombiningPolicy(b *testing.B) {
 // BenchmarkAblationLSQDepth sweeps the LSQ depth under the 4x2 LBIC (§5.2:
 // deeper LSQs help combining).
 func BenchmarkAblationLSQDepth(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationLSQDepth(experiments.NewSweep(benchInsts)); err != nil {
 			b.Fatal(err)
@@ -153,6 +161,7 @@ func BenchmarkAblationLSQDepth(b *testing.B) {
 // BenchmarkAblationScanDepth sweeps the LSQ scheduling window under the
 // banked cache (the §5 memory re-ordering effect).
 func BenchmarkAblationScanDepth(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationScanDepth(experiments.NewSweep(benchInsts)); err != nil {
 			b.Fatal(err)
@@ -161,27 +170,39 @@ func BenchmarkAblationScanDepth(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (instructions
-// per wall-clock second) on a representative workload and configuration.
+// per wall-clock second) on a representative workload and configuration,
+// with the instruction stream coming from the live emulator ("live") or
+// replayed from a warm trace cache ("replay") — the sweep steady state.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	tc := lbic.NewTraceCache(0)
 	for _, bench := range []string{"compress", "mgrid"} {
 		for _, port := range []lbic.PortConfig{lbic.IdealPort(4), lbic.LBICPort(4, 2)} {
-			b.Run(fmt.Sprintf("%s/%s", bench, port.Name()), func(b *testing.B) {
-				prog, err := lbic.BuildBenchmark(bench)
-				if err != nil {
-					b.Fatal(err)
-				}
-				cfg := lbic.DefaultConfig()
-				cfg.Port = port
-				cfg.MaxInsts = benchInsts
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					res, err := lbic.Simulate(prog, cfg)
+			for _, mode := range []string{"live", "replay"} {
+				b.Run(fmt.Sprintf("%s/%s/%s", bench, port.Name(), mode), func(b *testing.B) {
+					prog, err := lbic.BuildBenchmark(bench)
 					if err != nil {
 						b.Fatal(err)
 					}
-					b.SetBytes(int64(res.Insts)) // "bytes" = instructions
-				}
-			})
+					cfg := lbic.DefaultConfig()
+					cfg.Port = port
+					cfg.MaxInsts = benchInsts
+					if mode == "replay" {
+						cfg.Trace = tc
+						if _, err := lbic.Simulate(prog, cfg); err != nil {
+							b.Fatal(err) // record outside the timed region
+						}
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						res, err := lbic.Simulate(prog, cfg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.SetBytes(int64(res.Insts)) // "bytes" = instructions
+					}
+				})
+			}
 		}
 	}
 }

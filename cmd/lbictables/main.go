@@ -29,6 +29,7 @@ import (
 	"strings"
 	"syscall"
 
+	"lbic"
 	"lbic/internal/experiments"
 	"lbic/internal/runner"
 	"lbic/internal/stats"
@@ -54,6 +55,8 @@ func main() {
 		injHang    = flag.String("inject-hang", "", "comma-separated key substrings whose cells hang (fault-injection testing)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile on exit to this file")
+		noTrace    = flag.Bool("no-trace-cache", false, "re-execute the emulator for every cell instead of replaying recorded traces")
+		traceMB    = flag.Int("trace-cache-mb", 256, "trace cache memory budget in MiB")
 	)
 	flag.Parse()
 
@@ -91,6 +94,11 @@ func main() {
 	}
 
 	sw := experiments.NewSweep(*insts)
+	if !*noTrace {
+		// Record each benchmark's dynamic trace once and replay it for every
+		// port organization; tables are byte-identical either way.
+		sw.Trace = lbic.NewTraceCache(int64(*traceMB) << 20)
+	}
 	sw.Jobs = *jobs
 	sw.Timeout = *timeout
 	sw.Retries = *retries
@@ -207,6 +215,13 @@ func main() {
 		for _, t := range tables {
 			render(t)
 		}
+	}
+
+	if sw.Trace != nil && !*quiet {
+		ts := sw.Trace.Stats()
+		fmt.Fprintf(os.Stderr,
+			"trace cache: %d recordings, %d replays, %.1f MiB peak (%d evicted)\n",
+			ts.Records, ts.Hits, float64(ts.BytesPeak)/(1<<20), ts.Evictions)
 	}
 
 	// Failure appendix: every ERR cell, on stderr so -json/-markdown stdout

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"math"
 
 	"lbic/internal/metrics"
 	"lbic/internal/trace"
@@ -140,7 +141,9 @@ type Hierarchy struct {
 	l1        *Array
 	l2        *Array
 	mshrs     map[uint64]*mshr
-	queue     []uint64   // line addresses with unsent L2 requests, FIFO
+	mshrPool  []*mshr    // retired mshr structs, recycled to avoid allocation
+	queue     []uint64   // line addresses with unsent L2 requests, FIFO from qHead
+	qHead     int        // consumed prefix of queue (compacted, never regrown)
 	fills     [][]uint64 // fill events, a ring indexed by cycle
 	fillMask  uint64
 	sendBW    int // L2 requests per cycle
@@ -231,12 +234,41 @@ func (h *Hierarchy) Advance(now uint64) {
 
 	// Up to sendBW new L2 requests per cycle, queued misses first.
 	h.sendLeft = h.sendBW
-	for h.sendLeft > 0 && len(h.queue) > 0 && h.pendingL2 < h.params.MaxPending {
-		line := h.queue[0]
-		h.queue = h.queue[1:]
+	for h.sendLeft > 0 && h.qHead < len(h.queue) && h.pendingL2 < h.params.MaxPending {
+		line := h.queue[h.qHead]
+		h.qHead++
 		h.send(now, line)
 		h.sendLeft--
 	}
+	if h.qHead == len(h.queue) {
+		h.queue = h.queue[:0]
+		h.qHead = 0
+	}
+}
+
+// NextActivity returns the earliest cycle strictly after now at which the
+// hierarchy has self-scheduled work — a fill due, or a queued L2 request it
+// could send. It returns MaxUint64 when fully idle. The core's fast-forward
+// uses it to bound how far it may safely skip.
+func (h *Hierarchy) NextActivity(now uint64) uint64 {
+	if h.qHead < len(h.queue) && h.pendingL2 < h.params.MaxPending {
+		return now + 1
+	}
+	ring := uint64(len(h.fills))
+	for d := uint64(1); d < ring; d++ {
+		if len(h.fills[(now+d)&h.fillMask]) > 0 {
+			return now + d
+		}
+	}
+	return math.MaxUint64
+}
+
+// SkipCycles accounts n elided idle cycles. On a cycle with no fill due and
+// nothing sendable, Advance's only observable effect is the MSHR occupancy
+// sample, which is constant across the span — so a fast-forwarded run's
+// histogram is bit-identical to a stepped run's.
+func (h *Hierarchy) SkipCycles(n uint64) {
+	h.mshrOcc.ObserveN(len(h.mshrs), n)
 }
 
 // send issues the L2 lookup for an L1 line and schedules its fill.
@@ -285,6 +317,18 @@ func (h *Hierarchy) fill(now uint64, line uint64) {
 	for _, t := range m.targets {
 		h.completed = append(h.completed, Completion{Token: t, At: now + 1})
 	}
+	h.mshrPool = append(h.mshrPool, m)
+}
+
+// newMSHR recycles a retired mshr or allocates the pool's first few.
+func (h *Hierarchy) newMSHR(line uint64) *mshr {
+	if n := len(h.mshrPool); n > 0 {
+		m := h.mshrPool[n-1]
+		h.mshrPool = h.mshrPool[:n-1]
+		*m = mshr{line: line, targets: m.targets[:0]}
+		return m
+	}
+	return &mshr{line: line}
 }
 
 // Access performs one granted L1 access at cycle now. The token identifies
@@ -304,7 +348,7 @@ func (h *Hierarchy) Access(now uint64, addr uint64, write bool, token int64) Out
 			h.stats.Blocked++
 			return Blocked
 		}
-		m = &mshr{line: line}
+		m = h.newMSHR(line)
 		h.mshrs[line] = m
 		h.stats.MissesNew++
 		if h.events != nil {

@@ -106,7 +106,7 @@ type LBIC struct {
 	// data. Stores to a line already queued coalesce into its entry (the
 	// store queue is a write-combining buffer, as in the PA8000 design the
 	// paper cites); draining retires one line per idle bank cycle.
-	storeQ [][]uint64
+	storeQ []ports.LineQueue
 
 	// Per-cycle scratch, reset in Grant.
 	leadSet []bool
@@ -152,7 +152,7 @@ func New(cfg Config) (*LBIC, error) {
 	return &LBIC{
 		cfg:          cfg,
 		sel:          sel,
-		storeQ:       make([][]uint64, cfg.Banks),
+		storeQ:       make([]ports.LineQueue, cfg.Banks),
 		leadSet:      make([]bool, cfg.Banks),
 		blocked:      make([]bool, cfg.Banks),
 		line:         make([]uint64, cfg.Banks),
@@ -187,13 +187,24 @@ func (a *LBIC) Selector() ports.BankSelector { return a.sel }
 func (a *LBIC) Stats() Stats { return a.stats }
 
 // StoreQueueLen returns the lines queued in bank b's store queue.
-func (a *LBIC) StoreQueueLen(b int) int { return len(a.storeQ[b]) }
+func (a *LBIC) StoreQueueLen(b int) int { return a.storeQ[b].Len() }
 
 // StoreQueueLines appends bank b's queued lines, front first, to dst and
 // returns the extended slice; the verification oracle snapshots queues this
 // way every cycle to assert FIFO draining without per-call allocation.
 func (a *LBIC) StoreQueueLines(b int, dst []uint64) []uint64 {
-	return append(dst, a.storeQ[b]...)
+	return a.storeQ[b].Lines(dst)
+}
+
+// Quiescent implements ports.Quiescer: with every store queue empty, an idle
+// cycle neither drains nor changes state, which lets the core fast-forward.
+func (a *LBIC) Quiescent() bool {
+	for b := range a.storeQ {
+		if a.storeQ[b].Len() > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // SetEventSink implements ports.EventRecorder.
@@ -204,8 +215,8 @@ func (a *LBIC) SetEventSink(s trace.EventSink) { a.events = s }
 func (a *LBIC) DumpState() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s:", a.Name())
-	for bank, q := range a.storeQ {
-		fmt.Fprintf(&b, " bank%d[sq %d/%d]", bank, len(q), a.cfg.StoreQueueDepth)
+	for bank := range a.storeQ {
+		fmt.Fprintf(&b, " bank%d[sq %d/%d]", bank, a.storeQ[bank].Len(), a.cfg.StoreQueueDepth)
 	}
 	return b.String()
 }
@@ -271,15 +282,14 @@ func (a *LBIC) chooseGreedy(ready []ports.Request) {
 // an already-queued line coalesces for free. It reports whether the store
 // was accepted.
 func (a *LBIC) enqueueStore(b int, line uint64) bool {
-	for _, l := range a.storeQ[b] {
-		if l == line {
-			return true
-		}
+	q := &a.storeQ[b]
+	if q.Contains(line) {
+		return true
 	}
-	if len(a.storeQ[b]) >= a.cfg.StoreQueueDepth {
+	if q.Len() >= a.cfg.StoreQueueDepth {
 		return false
 	}
-	a.storeQ[b] = append(a.storeQ[b], line)
+	q.Push(line)
 	return true
 }
 
@@ -348,8 +358,8 @@ func (a *LBIC) Grant(now uint64, ready []ports.Request, dst []int) []int {
 	// queued line retires per idle bank cycle. Active banks record their
 	// combining-group width.
 	for b := 0; b < a.cfg.Banks; b++ {
-		if a.count[b] == 0 && len(a.storeQ[b]) > 0 {
-			a.storeQ[b] = a.storeQ[b][1:]
+		if a.count[b] == 0 && a.storeQ[b].Len() > 0 {
+			a.storeQ[b].PopFront()
 			a.stats.StoreDrains++
 		}
 		if a.count[b] > 0 {

@@ -65,23 +65,29 @@ type entry struct {
 	src2Ready bool
 	addrDone  bool
 	deps      []int32 // packed dependent links: ruuIdx<<2 | operand
+	// waiterHead chains the loads forward-parked on this entry (a store);
+	// waiterNext threads this entry into another entry's chain (a load).
+	// -1 terminates. The chains replace the old per-seq waiter map.
+	waiterHead int32
+	waiterNext int32
 }
 
-// fwdRef tracks an in-flight store for store-to-load forwarding, keyed in a
-// granule map by 8-byte-aligned address granules the store touches.
+// fwdRef tracks an in-flight store for store-to-load forwarding, indexed by
+// the 8-byte-aligned address granules the store touches (see fwdTable).
 type fwdRef struct {
 	seq  uint64
 	addr uint64
 	size uint8
-	ruu  int32 // RUU index pre-commit, -1 once the store is committed
+	ruu  int32 // RUU index pre-commit, -(slot+1) once in store buffer slot
 }
 
 type storeBufEntry struct {
-	seq     uint64
-	addr    uint64
-	size    uint8
-	live    bool
-	granted bool
+	seq        uint64
+	addr       uint64
+	size       uint8
+	live       bool
+	granted    bool
+	waiterHead int32 // loads forward-parked on this committed store, -1 none
 }
 
 type orderRef struct {
@@ -129,6 +135,10 @@ type Core struct {
 	watchdog     uint64
 	lastProgress uint64
 
+	// fastForwarded counts cycles elided by the idle-cycle skip (still
+	// included in Cycles; see fastforward.go).
+	fastForwarded uint64
+
 	// RUU ring.
 	entries []entry
 	head    int
@@ -148,17 +158,19 @@ type Core struct {
 
 	// LSQ-derived structures.
 	lsqCount    int
-	storeOrder  []orderRef         // dispatched stores, FIFO; front popped when address known
-	orderParked []int32            // loads blocked on unknown older store addresses
-	fwdWaiters  map[uint64][]int32 // store seq → loads parked on it
-	fwdMap      map[uint64][]fwdRef
-	memPending  []int32 // loads ready for a port, ascending seq
+	storeOrder  []orderRef // dispatched stores, FIFO from soHead; popped when address known
+	soHead      int        // consumed prefix of storeOrder (compacted, never reallocated)
+	orderParked []int32    // loads blocked on unknown older store addresses
+	orderedMin  uint64     // barrier seq at the last orderParked scan (see releaseOrderParked)
+	fwd         fwdTable   // store-forwarding index by address granule
+	memPending  []int32    // loads ready for a port, ascending seq
 
 	// Committed store buffer (FIFO ring over slots).
-	storeBuf  []storeBufEntry
-	sbHead    int
-	sbCount   int
-	storeLive int // live (incl. granted, unwritten) stores
+	storeBuf    []storeBufEntry
+	sbHead      int
+	sbCount     int
+	sbUngranted int // live slots not yet granted a cache port
+	storeLive   int // live (incl. granted, unwritten) stores
 
 	// Per-cycle FU accounting.
 	fuUsed [isa.NumClasses]int      // pipelined issues this cycle
@@ -167,6 +179,15 @@ type Core struct {
 	reqBuf   []ports.Request
 	reqIdx   []int32 // parallel: RUU index (loads) or -(slot+1) (stores)
 	grantBuf []int
+
+	// Pooled scratch for per-cycle stages, so steady-state stepping never
+	// allocates.
+	releaseScratch  []int32
+	sidelineScratch []int32
+
+	// arbQuiescent is non-nil when the arbiter implements ports.Quiescer;
+	// fast-forward needs it to prove the arbiter holds no queued work.
+	arbQuiescent func() bool
 
 	// Observability. The gauges and histogram are live metric objects a
 	// run report's registry adopts; events is nil unless a structured
@@ -202,22 +223,21 @@ func New(stream trace.Stream, hier *cache.Hierarchy, arb ports.Arbiter, cfg Conf
 		return nil, fmt.Errorf("cpu: hit latency %d exceeds event wheel %d", hier.Params().HitLat, wheelSize)
 	}
 	c := &Core{
-		cfg:        cfg,
-		stream:     stream,
-		hier:       hier,
-		arb:        arb,
-		entries:    make([]entry, cfg.RUUSize),
-		fwdWaiters: make(map[uint64][]int32),
-		fwdMap:     make(map[uint64][]fwdRef),
-		storeBuf:   make([]storeBufEntry, cfg.StoreBufferSize),
+		cfg:      cfg,
+		stream:   stream,
+		hier:     hier,
+		arb:      arb,
+		entries:  make([]entry, cfg.RUUSize),
+		storeBuf: make([]storeBufEntry, cfg.StoreBufferSize),
 		grantHist: metrics.NewHistogram("cpu.grants_per_cycle",
 			"port grants per cycle (arbiter bandwidth actually used)",
 			"grants", arb.PeakWidth()+1),
-		ruuOcc:    metrics.NewGauge("cpu.ruu_occupancy", "instructions in the window per cycle"),
-		lsqOcc:    metrics.NewGauge("cpu.lsq_occupancy", "memory operations in the LSQ per cycle"),
-		sbOcc:     metrics.NewGauge("cpu.storebuf_occupancy", "committed stores awaiting write per cycle"),
+		ruuOcc:    metrics.NewGauge("cpu.ruu_occupancy", "instructions in the window per commit cycle"),
+		lsqOcc:    metrics.NewGauge("cpu.lsq_occupancy", "memory operations in the LSQ per commit cycle"),
+		sbOcc:     metrics.NewGauge("cpu.storebuf_occupancy", "committed stores awaiting write per commit cycle"),
 		lineShift: uint(hier.Params().L1.LineBits()),
 	}
+	c.orderedMin = math.MaxUint64
 	switch {
 	case cfg.WatchdogCycles == 0:
 		c.watchdog = DefaultWatchdogCycles
@@ -226,6 +246,16 @@ func New(stream trace.Stream, hier *cache.Hierarchy, arb ports.Arbiter, cfg Conf
 	}
 	for r := range c.lastWriter {
 		c.lastWriter[r] = -1
+	}
+	for i := range c.entries {
+		c.entries[i].waiterHead = -1
+		c.entries[i].waiterNext = -1
+	}
+	// Every store with a generated address is in the LSQ or the store buffer
+	// and touches at most two granules, bounding the forwarding index.
+	c.fwd.init(2 * (cfg.LSQSize + cfg.StoreBufferSize))
+	if q, ok := arb.(ports.Quiescer); ok {
+		c.arbQuiescent = q.Quiescent
 	}
 	c.readyQ.core = c
 	return c, nil
@@ -297,6 +327,9 @@ func (c *Core) RunContext(ctx context.Context) (Stats, error) {
 		countdown--
 		if err := c.Step(); err != nil {
 			return c.Stats(), err
+		}
+		if n := c.idleCycles(); n > 0 {
+			c.skipIdle(n)
 		}
 	}
 	return c.Stats(), nil
@@ -437,7 +470,7 @@ func (c *Core) addrGenerated(idx int32) {
 func (c *Core) storeDone(idx int32) {
 	e := &c.entries[idx]
 	e.state = stDone
-	c.recheckFwdWaiters(e.dyn.Seq)
+	c.wakeChain(&e.waiterHead)
 }
 
 func granules(addr uint64, size uint8) (uint64, uint64) {
@@ -447,63 +480,43 @@ func granules(addr uint64, size uint8) (uint64, uint64) {
 func (c *Core) registerForward(seq, addr uint64, size uint8, ruu int32) {
 	g0, g1 := granules(addr, size)
 	ref := fwdRef{seq: seq, addr: addr, size: size, ruu: ruu}
-	c.fwdMap[g0] = append(c.fwdMap[g0], ref)
+	c.fwd.insert(g0, ref)
 	if g1 != g0 {
-		c.fwdMap[g1] = append(c.fwdMap[g1], ref)
+		c.fwd.insert(g1, ref)
 	}
 }
 
 func (c *Core) dropForward(seq, addr uint64, size uint8) {
 	g0, g1 := granules(addr, size)
-	c.dropForwardGranule(g0, seq)
+	c.fwd.remove(g0, seq)
 	if g1 != g0 {
-		c.dropForwardGranule(g1, seq)
+		c.fwd.remove(g1, seq)
 	}
 }
 
-func (c *Core) dropForwardGranule(g, seq uint64) {
-	refs := c.fwdMap[g]
-	for i := range refs {
-		if refs[i].seq == seq {
-			refs[i] = refs[len(refs)-1]
-			refs = refs[:len(refs)-1]
-			break
-		}
-	}
-	if len(refs) == 0 {
-		delete(c.fwdMap, g)
-	} else {
-		c.fwdMap[g] = refs
-	}
-}
-
-// commitForward re-tags a store's forwarding refs as committed (always data
-// ready, no RUU entry).
-func (c *Core) commitForward(seq, addr uint64, size uint8) {
+// commitForward re-tags a store's forwarding refs as committed into the given
+// store buffer slot: the data is always ready, and later waiters park on the
+// slot rather than the recycled RUU entry.
+func (c *Core) commitForward(seq, addr uint64, size uint8, slot int) {
 	g0, g1 := granules(addr, size)
-	c.commitForwardGranule(g0, seq)
+	ruu := -int32(slot) - 1
+	c.fwd.retag(g0, seq, ruu)
 	if g1 != g0 {
-		c.commitForwardGranule(g1, seq)
+		c.fwd.retag(g1, seq, ruu)
 	}
 }
 
-func (c *Core) commitForwardGranule(g, seq uint64) {
-	refs := c.fwdMap[g]
-	for i := range refs {
-		if refs[i].seq == seq {
-			refs[i].ruu = -1
-		}
-	}
-}
-
-func (c *Core) recheckFwdWaiters(storeSeq uint64) {
-	waiters := c.fwdWaiters[storeSeq]
-	if len(waiters) == 0 {
-		return
-	}
-	delete(c.fwdWaiters, storeSeq)
-	for _, idx := range waiters {
+// wakeChain re-routes every load parked on a store's waiter chain. The head
+// is reset before routing and each link is read before its load is routed, so
+// a load that re-parks on the same store mid-wake is safe.
+func (c *Core) wakeChain(head *int32) {
+	idx := *head
+	*head = -1
+	for idx >= 0 {
+		next := c.entries[idx].waiterNext
+		c.entries[idx].waiterNext = -1
 		c.routeLoad(idx)
+		idx = next
 	}
 }
 
@@ -512,15 +525,29 @@ func (c *Core) recheckFwdWaiters(storeSeq uint64) {
 // minUnknownStoreSeq returns the sequence number of the oldest store whose
 // address is not yet generated, or MaxUint64 if all are known.
 func (c *Core) minUnknownStoreSeq() uint64 {
-	for len(c.storeOrder) > 0 {
-		ref := c.storeOrder[0]
+	for c.soHead < len(c.storeOrder) {
+		ref := c.storeOrder[c.soHead]
 		e := &c.entries[ref.idx]
 		if e.dyn.Seq == ref.seq && !e.addrDone {
+			c.compactStoreOrder()
 			return ref.seq
 		}
-		c.storeOrder = c.storeOrder[1:]
+		c.soHead++
 	}
+	c.storeOrder = c.storeOrder[:0]
+	c.soHead = 0
 	return math.MaxUint64
+}
+
+// compactStoreOrder slides the live suffix to the front once the consumed
+// prefix dominates, so the backing array is reused instead of regrown (the
+// old `storeOrder = storeOrder[1:]` pops leaked capacity forever).
+func (c *Core) compactStoreOrder() {
+	if c.soHead > 32 && c.soHead*2 >= len(c.storeOrder) {
+		n := copy(c.storeOrder, c.storeOrder[c.soHead:])
+		c.storeOrder = c.storeOrder[:n]
+		c.soHead = 0
+	}
 }
 
 // routeLoad decides what happens to a load whose address is generated:
@@ -533,18 +560,25 @@ func (c *Core) routeLoad(idx int32) {
 		c.stats.OrderingStalls++
 		return
 	}
-	switch blockSeq, disp := c.tryForward(idx); disp {
+	switch best, disp := c.tryForward(idx); disp {
 	case fwdServiced:
 		c.stats.Forwards++
 		if c.verify != nil {
-			c.verify.ObserveForward(c.now, e.dyn.Seq, blockSeq)
+			c.verify.ObserveForward(c.now, e.dyn.Seq, best.seq)
 		}
 		c.schedule(c.now+1, event{kind: evMem, idx: idx})
 		e.state = stMemWait
 		return
 	case fwdBlocked:
 		e.state = stFwdParked
-		c.fwdWaiters[blockSeq] = append(c.fwdWaiters[blockSeq], idx)
+		var head *int32
+		if best.ruu >= 0 {
+			head = &c.entries[best.ruu].waiterHead
+		} else {
+			head = &c.storeBuf[-best.ruu-1].waiterHead
+		}
+		e.waiterNext = *head
+		*head = idx
 		c.stats.ForwardWaits++
 		return
 	}
@@ -566,16 +600,21 @@ const (
 )
 
 // tryForward finds the youngest older store overlapping the load and decides
-// the load's disposition; for fwdServiced and fwdBlocked the returned
-// sequence number identifies that store.
-func (c *Core) tryForward(idx int32) (uint64, fwdDisposition) {
+// the load's disposition; for fwdServiced and fwdBlocked the returned ref
+// identifies that store (seq for reporting, ruu for where to park).
+func (c *Core) tryForward(idx int32) (fwdRef, fwdDisposition) {
 	e := &c.entries[idx]
 	addr, size, seq := e.dyn.Addr, e.dyn.Size, e.dyn.Seq
 	g0, g1 := granules(addr, size)
 	best := fwdRef{}
 	found := false
 	scan := func(g uint64) {
-		for _, ref := range c.fwdMap[g] {
+		for ni := *c.fwd.bucket(g); ni >= 0; ni = c.fwd.nodes[ni].next {
+			n := &c.fwd.nodes[ni]
+			if n.g != g {
+				continue // bucket shared by another granule
+			}
+			ref := n.ref
 			if ref.seq >= seq {
 				continue
 			}
@@ -592,15 +631,15 @@ func (c *Core) tryForward(idx int32) (uint64, fwdDisposition) {
 		scan(g1)
 	}
 	if !found {
-		return 0, fwdNone
+		return best, fwdNone
 	}
 	covers := best.addr <= addr && best.addr+uint64(best.size) >= addr+uint64(size)
 	ready := best.ruu < 0 || c.entries[best.ruu].state == stDone
 	if covers && ready {
-		return best.seq, fwdServiced
+		return best, fwdServiced
 	}
 	// Partial overlap, or the matching store's data is not ready: wait on it.
-	return best.seq, fwdBlocked
+	return best, fwdBlocked
 }
 
 func (c *Core) insertMemPending(idx int32) {
@@ -624,13 +663,23 @@ func (c *Core) removeMemPending(idx int32) {
 }
 
 // releaseOrderParked re-routes loads whose ordering barrier has cleared.
+//
+// The scan is skipped while the barrier sequence is unchanged since the last
+// scan: every load parked since then saw the same barrier when it was routed
+// (finite barrier values are strictly increasing — stores dispatch in order
+// and the MaxUint64 "no barrier" state releases the whole park list), so no
+// parked load can have become eligible.
 func (c *Core) releaseOrderParked() {
 	if len(c.orderParked) == 0 {
 		return
 	}
 	min := c.minUnknownStoreSeq()
+	if min == c.orderedMin {
+		return
+	}
+	c.orderedMin = min
 	kept := c.orderParked[:0]
-	var release []int32
+	release := c.releaseScratch[:0]
 	for _, idx := range c.orderParked {
 		if c.entries[idx].dyn.Seq < min {
 			release = append(release, idx)
@@ -642,6 +691,7 @@ func (c *Core) releaseOrderParked() {
 	for _, idx := range release {
 		c.routeLoad(idx)
 	}
+	c.releaseScratch = release
 }
 
 // --- commit ---
@@ -659,10 +709,14 @@ func (c *Core) commit() {
 				return
 			}
 			slot := (c.sbHead + c.sbCount) % c.cfg.StoreBufferSize
-			c.storeBuf[slot] = storeBufEntry{seq: e.dyn.Seq, addr: e.dyn.Addr, size: e.dyn.Size, live: true}
+			// Waiters parked on the RUU entry migrate to the slot's chain.
+			c.storeBuf[slot] = storeBufEntry{seq: e.dyn.Seq, addr: e.dyn.Addr, size: e.dyn.Size,
+				live: true, waiterHead: e.waiterHead}
+			e.waiterHead = -1
 			c.sbCount++
+			c.sbUngranted++
 			c.storeLive++
-			c.commitForward(e.dyn.Seq, e.dyn.Addr, e.dyn.Size)
+			c.commitForward(e.dyn.Seq, e.dyn.Addr, e.dyn.Size, slot)
 			c.stats.Stores++
 			c.lsqCount--
 		} else if e.dyn.IsLoad() {
@@ -747,8 +801,9 @@ func (c *Core) memoryIssue() {
 				slot := int(-id - 1)
 				sb := &c.storeBuf[slot]
 				sb.granted = true
+				c.sbUngranted--
 				c.dropForward(sb.seq, sb.addr, sb.size)
-				c.recheckFwdWaiters(sb.seq)
+				c.wakeChain(&sb.waiterHead)
 			} else {
 				c.removeMemPending(id)
 				c.entries[id].state = stMemWait
@@ -817,7 +872,7 @@ func (c *Core) issue() {
 	}
 	budget := c.cfg.IssueWidth
 	attempts := c.readyQ.Len()
-	var sidelined []int32
+	sidelined := c.sidelineScratch[:0]
 	for budget > 0 && attempts > 0 && c.readyQ.Len() > 0 {
 		attempts--
 		idx := c.readyQ.pop()
@@ -842,23 +897,27 @@ func (c *Core) issue() {
 		c.entries[idx].state = stReady
 		c.readyQ.push(idx)
 	}
+	c.sidelineScratch = sidelined
 }
 
 // --- dispatch ---
 
-func (c *Core) peek() (trace.Dyn, bool) {
+// peek exposes the next undispatched instruction without consuming it. The
+// returned pointer aliases the lookahead buffer and is only valid until the
+// next peek or dispatch.
+func (c *Core) peek() (*trace.Dyn, bool) {
 	if c.peeked {
-		return c.peekDyn, true
+		return &c.peekDyn, true
 	}
 	if c.streamEOF {
-		return trace.Dyn{}, false
+		return nil, false
 	}
 	if !c.stream.Next(&c.peekDyn) {
 		c.streamEOF = true
-		return trace.Dyn{}, false
+		return nil, false
 	}
 	c.peeked = true
-	return c.peekDyn, true
+	return &c.peekDyn, true
 }
 
 func (c *Core) dispatch() {
@@ -884,7 +943,7 @@ func (c *Core) dispatch() {
 		c.stats.Dispatched++
 
 		e := &c.entries[idx]
-		*e = entry{dyn: dyn, deps: e.deps[:0]}
+		*e = entry{dyn: *dyn, deps: e.deps[:0], waiterHead: -1, waiterNext: -1}
 		e.dyn.Seq = c.nextSeq
 		c.nextSeq++
 		if c.verify != nil && e.dyn.IsMem() {
@@ -942,51 +1001,56 @@ func (c *Core) wireSource(r isa.Reg, idx int32, operand int) bool {
 //
 // container/heap would box every int32 through an interface on each
 // push/pop; issue is the hottest stage, so the sift loops are inlined here.
+// Each node carries its entry's (immutable while queued) sequence number so
+// comparisons stay inside the heap's own backing array instead of chasing
+// RUU entries through a cold cache line per probe.
+
+type readyNode struct {
+	seq uint64
+	idx int32
+}
 
 type readyHeap struct {
-	core *Core
-	ids  []int32
+	core  *Core
+	nodes []readyNode
 }
 
 // Len returns the number of ready instructions.
-func (h *readyHeap) Len() int { return len(h.ids) }
-
-func (h *readyHeap) less(i, j int) bool {
-	return h.core.entries[h.ids[i]].dyn.Seq < h.core.entries[h.ids[j]].dyn.Seq
-}
+func (h *readyHeap) Len() int { return len(h.nodes) }
 
 func (h *readyHeap) push(v int32) {
-	h.ids = append(h.ids, v)
-	i := len(h.ids) - 1
+	n := readyNode{seq: h.core.entries[v].dyn.Seq, idx: v}
+	h.nodes = append(h.nodes, n)
+	i := len(h.nodes) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.less(i, parent) {
+		if n.seq >= h.nodes[parent].seq {
 			break
 		}
-		h.ids[i], h.ids[parent] = h.ids[parent], h.ids[i]
+		h.nodes[i], h.nodes[parent] = h.nodes[parent], h.nodes[i]
 		i = parent
 	}
 }
 
 func (h *readyHeap) pop() int32 {
-	top := h.ids[0]
-	last := len(h.ids) - 1
-	h.ids[0] = h.ids[last]
-	h.ids = h.ids[:last]
+	top := h.nodes[0].idx
+	last := len(h.nodes) - 1
+	h.nodes[0] = h.nodes[last]
+	h.nodes = h.nodes[:last]
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < last && h.less(l, smallest) {
+		if l < last && h.nodes[l].seq < h.nodes[smallest].seq {
 			smallest = l
 		}
-		if r < last && h.less(r, smallest) {
+		if r < last && h.nodes[r].seq < h.nodes[smallest].seq {
 			smallest = r
 		}
 		if smallest == i {
 			break
 		}
-		h.ids[i], h.ids[smallest] = h.ids[smallest], h.ids[i]
+		h.nodes[i], h.nodes[smallest] = h.nodes[smallest], h.nodes[i]
 		i = smallest
 	}
 	return top

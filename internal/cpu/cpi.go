@@ -99,7 +99,66 @@ func (c *Core) accountCycle(commit0, sbStall0, ruuStall0, lsqStall0 uint64) {
 	}
 	s.StallCycles[cause]++
 
-	c.ruuOcc.Sample(uint64(c.count))
-	c.lsqOcc.Sample(uint64(c.lsqCount))
-	c.sbOcc.Sample(uint64(c.storeLive))
+	// Occupancy is sampled at commit boundaries, not wall cycles: the gauges
+	// describe the window the program actually uses when it makes progress,
+	// and stall cycles — which fast-forward elides in bulk — contribute no
+	// samples, so a fast-forwarded run reports identical occupancy.
+	if cause == StallCommitting {
+		c.ruuOcc.Sample(uint64(c.count))
+		c.lsqOcc.Sample(uint64(c.lsqCount))
+		c.sbOcc.Sample(uint64(c.storeLive))
+	}
+}
+
+// accountSkipped bulk-attributes n fast-forwarded idle cycles exactly as n
+// Step calls would have: the same stall cause, the same per-cycle dispatch
+// and commit stall counters, and n empty-grant histogram observations. It
+// must only be called under idleCycles' guarantees (no commit, no event, no
+// grantable request for the whole span), under which every per-cycle decision
+// below is constant.
+func (c *Core) accountSkipped(n uint64) {
+	s := &c.stats
+	commitBlockedOnSB := false
+	if c.count > 0 {
+		e := &c.entries[c.head]
+		if e.state == stDone && e.dyn.IsStore() && c.sbCount == c.cfg.StoreBufferSize {
+			commitBlockedOnSB = true
+			s.CommitStallStoreBuf += n
+		}
+	}
+	dispatchRUU, dispatchLSQ := false, false
+	if !c.fetchExhausted() {
+		if c.count == c.cfg.RUUSize {
+			dispatchRUU = true
+			s.DispatchStallRUU += n
+		} else if dyn, ok := c.peek(); ok && dyn.IsMem() && c.lsqCount == c.cfg.LSQSize {
+			dispatchLSQ = true
+			s.DispatchStallLSQ += n
+		}
+	}
+	var cause StallCause
+	switch {
+	case commitBlockedOnSB:
+		cause = StallStoreBufFull
+	case c.count == 0:
+		cause = StallDrained
+	default:
+		switch c.entries[c.head].state {
+		case stMemWait:
+			cause = StallMemWait
+		case stMemPending:
+			cause = StallMemPort
+		default:
+			switch {
+			case dispatchLSQ:
+				cause = StallLSQFull
+			case dispatchRUU:
+				cause = StallROBFull
+			default:
+				cause = StallExec
+			}
+		}
+	}
+	s.StallCycles[cause] += n
+	c.grantHist.ObserveN(0, n)
 }

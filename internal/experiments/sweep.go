@@ -35,6 +35,13 @@ type Sweep struct {
 	KeepGoing bool
 	// Journal checkpoints completed cells for -resume.
 	Journal *runner.Journal
+	// Trace, when non-nil, records each program's dynamic trace once and
+	// replays it for every cell at the same instruction budget — simulation
+	// cells, Table 2 characterization, and Figure 3 reference-stream
+	// analysis all share one recording. Results are bit-identical with and
+	// without it (cell keys deliberately ignore it), so journals stay
+	// compatible either way.
+	Trace *lbic.TraceCache
 	// Stop requests graceful shutdown: in-flight cells finish, the rest are
 	// skipped.
 	Stop <-chan struct{}
@@ -46,12 +53,45 @@ type Sweep struct {
 	InjectPanic []string
 	InjectHang  []string
 
-	log *failureLog
+	log   *failureLog
+	progs *progCache
 }
 
 // NewSweep returns a sweep with the given budget and default policy.
 func NewSweep(insts uint64) *Sweep {
-	return &Sweep{Insts: insts, log: &failureLog{}}
+	return &Sweep{Insts: insts, log: &failureLog{}, progs: &progCache{m: map[string]*lbic.Program{}}}
+}
+
+// progCache builds each program once per sweep. Programs are immutable once
+// built, so cells share instances — which both skips redundant synthesis and
+// lets the trace cache memoize program fingerprints by identity.
+type progCache struct {
+	mu sync.Mutex
+	m  map[string]*lbic.Program
+}
+
+func (pc *progCache) get(key string, build func() (*lbic.Program, error)) (*lbic.Program, error) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if p, ok := pc.m[key]; ok {
+		return p, nil
+	}
+	p, err := build()
+	if err != nil {
+		return nil, err
+	}
+	pc.m[key] = p
+	return p, nil
+}
+
+// benchProg returns the sweep's shared instance of a benchmark kernel.
+func (sw *Sweep) benchProg(name string) (*lbic.Program, error) {
+	return sw.progs.get("bench/"+name, func() (*lbic.Program, error) { return lbic.BuildBenchmark(name) })
+}
+
+// patternProg returns the sweep's shared instance of a pattern microbenchmark.
+func (sw *Sweep) patternProg(name string) (*lbic.Program, error) {
+	return sw.progs.get("pat/"+name, func() (*lbic.Program, error) { return lbic.BuildPattern(name) })
 }
 
 // WithInsts returns a copy of the sweep at a different budget, sharing the
@@ -172,7 +212,7 @@ func (sw *Sweep) simBenchMut(name string, port lbic.PortConfig, suffix string, m
 	if suffix != "" {
 		key += "/" + suffix
 	}
-	build := func() (*lbic.Program, error) { return lbic.BuildBenchmark(name) }
+	build := func() (*lbic.Program, error) { return sw.benchProg(name) }
 	return sw.simCell(key, build, port, mut)
 }
 
@@ -180,7 +220,7 @@ func (sw *Sweep) simBenchMut(name string, port lbic.PortConfig, suffix string, m
 // organization.
 func (sw *Sweep) simPattern(name string, port lbic.PortConfig) runner.Cell[float64] {
 	key := fmt.Sprintf("sim/pat:%s/%s/i%d", name, portKey(port), sw.Insts)
-	build := func() (*lbic.Program, error) { return lbic.BuildPattern(name) }
+	build := func() (*lbic.Program, error) { return sw.patternProg(name) }
 	return sw.simCell(key, build, port, nil)
 }
 
@@ -204,6 +244,7 @@ func (sw *Sweep) simCell(key string, build func() (*lbic.Program, error), port l
 		cfg := lbic.DefaultConfig()
 		cfg.Port = port
 		cfg.MaxInsts = insts
+		cfg.Trace = sw.Trace
 		if mut != nil {
 			mut(&cfg)
 		}
@@ -219,13 +260,14 @@ func (sw *Sweep) simCell(key string, build func() (*lbic.Program, error), port l
 // L1 geometry.
 func (sw *Sweep) charCell(name string, geom lbic.Geometry) runner.Cell[lbic.BenchmarkStats] {
 	insts := sw.Insts
+	tc := sw.Trace
 	key := fmt.Sprintf("char/%s/%s/i%d", name, geomKey(geom), insts)
-	return runner.Cell[lbic.BenchmarkStats]{Key: key, Run: func(context.Context) (lbic.BenchmarkStats, error) {
-		prog, err := lbic.BuildBenchmark(name)
+	return runner.Cell[lbic.BenchmarkStats]{Key: key, Run: func(ctx context.Context) (lbic.BenchmarkStats, error) {
+		prog, err := sw.benchProg(name)
 		if err != nil {
 			return lbic.BenchmarkStats{}, err
 		}
-		return lbic.CharacterizeWith(prog, insts, geom)
+		return lbic.CharacterizeVia(ctx, tc, prog, insts, geom)
 	}}
 }
 
@@ -233,13 +275,14 @@ func (sw *Sweep) charCell(name string, geom lbic.Geometry) runner.Cell[lbic.Benc
 // associativity grids. Distinct key namespace: the journaled value differs.
 func (sw *Sweep) missRateCell(name string, geom lbic.Geometry) runner.Cell[float64] {
 	insts := sw.Insts
+	tc := sw.Trace
 	key := fmt.Sprintf("miss/%s/%s/i%d", name, geomKey(geom), insts)
-	return runner.Cell[float64]{Key: key, Run: func(context.Context) (float64, error) {
-		prog, err := lbic.BuildBenchmark(name)
+	return runner.Cell[float64]{Key: key, Run: func(ctx context.Context) (float64, error) {
+		prog, err := sw.benchProg(name)
 		if err != nil {
 			return 0, err
 		}
-		s, err := lbic.CharacterizeWith(prog, insts, geom)
+		s, err := lbic.CharacterizeVia(ctx, tc, prog, insts, geom)
 		if err != nil {
 			return 0, err
 		}
@@ -255,13 +298,14 @@ func geomKey(g lbic.Geometry) string {
 // infinite banks-way line-interleaved cache.
 func (sw *Sweep) refCell(name string, banks, lineSize int) runner.Cell[lbic.Distribution] {
 	insts := sw.Insts
+	tc := sw.Trace
 	key := fmt.Sprintf("refs/%s/b%d-l%d/i%d", name, banks, lineSize, insts)
-	return runner.Cell[lbic.Distribution]{Key: key, Run: func(context.Context) (lbic.Distribution, error) {
-		prog, err := lbic.BuildBenchmark(name)
+	return runner.Cell[lbic.Distribution]{Key: key, Run: func(ctx context.Context) (lbic.Distribution, error) {
+		prog, err := sw.benchProg(name)
 		if err != nil {
 			return lbic.Distribution{}, err
 		}
-		return lbic.AnalyzeRefStream(prog, banks, lineSize, insts)
+		return lbic.AnalyzeRefStreamVia(ctx, tc, prog, banks, lineSize, insts)
 	}}
 }
 

@@ -63,6 +63,9 @@ func (a *Banked) Name() string {
 // PeakWidth implements Arbiter.
 func (a *Banked) PeakWidth() int { return a.sel.Banks() }
 
+// Quiescent implements Quiescer: the arbiter carries no cross-cycle state.
+func (a *Banked) Quiescent() bool { return true }
+
 // Selector returns the bank selection function.
 func (a *Banked) Selector() BankSelector { return a.sel }
 

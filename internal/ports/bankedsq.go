@@ -19,7 +19,7 @@ type BankedSQ struct {
 	depth    int
 	busy     []bool
 	accepted []bool // a store was accepted into this bank's queue this cycle
-	storeQ   [][]uint64
+	storeQ   []LineQueue
 
 	// Conflicts counts requests stalled on a busy bank.
 	Conflicts uint64
@@ -51,7 +51,7 @@ func NewBankedSQ(banks, lineSize, depth int) (*BankedSQ, error) {
 		depth:        depth,
 		busy:         make([]bool, banks),
 		accepted:     make([]bool, banks),
-		storeQ:       make([][]uint64, banks),
+		storeQ:       make([]LineQueue, banks),
 		bankAccess:   make([]uint64, banks),
 		bankConflict: make([]uint64, banks),
 	}, nil
@@ -73,12 +73,23 @@ func (a *BankedSQ) Name() string { return fmt.Sprintf("banksq-%d", a.sel.Banks()
 func (a *BankedSQ) PeakWidth() int { return 2 * a.sel.Banks() }
 
 // StoreQueueLen returns the lines queued in bank b's store queue.
-func (a *BankedSQ) StoreQueueLen(b int) int { return len(a.storeQ[b]) }
+func (a *BankedSQ) StoreQueueLen(b int) int { return a.storeQ[b].Len() }
 
 // StoreQueueLines appends bank b's queued lines, front first, to dst and
 // returns the extended slice (see LBIC.StoreQueueLines).
 func (a *BankedSQ) StoreQueueLines(b int, dst []uint64) []uint64 {
-	return append(dst, a.storeQ[b]...)
+	return a.storeQ[b].Lines(dst)
+}
+
+// Quiescent implements Quiescer: with every store queue empty, an idle cycle
+// neither drains nor changes state.
+func (a *BankedSQ) Quiescent() bool {
+	for b := range a.storeQ {
+		if a.storeQ[b].Len() > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Selector returns the bank selection function.
@@ -89,8 +100,8 @@ func (a *BankedSQ) Selector() BankSelector { return a.sel }
 func (a *BankedSQ) DumpState() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s:", a.Name())
-	for bank, q := range a.storeQ {
-		fmt.Fprintf(&b, " bank%d[sq %d/%d]", bank, len(q), a.depth)
+	for bank := range a.storeQ {
+		fmt.Fprintf(&b, " bank%d[sq %d/%d]", bank, a.storeQ[bank].Len(), a.depth)
 	}
 	return b.String()
 }
@@ -99,15 +110,14 @@ func (a *BankedSQ) DumpState() string {
 func (a *BankedSQ) Depth() int { return a.depth }
 
 func (a *BankedSQ) enqueue(b int, line uint64) bool {
-	for _, l := range a.storeQ[b] {
-		if l == line {
-			return true
-		}
+	q := &a.storeQ[b]
+	if q.Contains(line) {
+		return true
 	}
-	if len(a.storeQ[b]) >= a.depth {
+	if q.Len() >= a.depth {
 		return false
 	}
-	a.storeQ[b] = append(a.storeQ[b], line)
+	q.Push(line)
 	return true
 }
 
@@ -155,8 +165,8 @@ func (a *BankedSQ) Grant(_ uint64, ready []Request, dst []int) []int {
 	// Idle banks (no array access and no queue acceptance this cycle)
 	// retire one queued line.
 	for b := range a.storeQ {
-		if !a.busy[b] && !a.accepted[b] && len(a.storeQ[b]) > 0 {
-			a.storeQ[b] = a.storeQ[b][1:]
+		if !a.busy[b] && !a.accepted[b] && a.storeQ[b].Len() > 0 {
+			a.storeQ[b].PopFront()
 			a.StoreDrains++
 		}
 	}

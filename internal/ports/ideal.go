@@ -21,6 +21,9 @@ func NewIdeal(ports int) (*Ideal, error) {
 // Name implements Arbiter.
 func (a *Ideal) Name() string { return fmt.Sprintf("ideal-%d", a.ports) }
 
+// Quiescent implements Quiescer: the arbiter carries no cross-cycle state.
+func (a *Ideal) Quiescent() bool { return true }
+
 // PeakWidth implements Arbiter.
 func (a *Ideal) PeakWidth() int { return a.ports }
 

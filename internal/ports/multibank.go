@@ -60,6 +60,9 @@ func (a *MultiPortedBanks) Name() string {
 // PeakWidth implements Arbiter.
 func (a *MultiPortedBanks) PeakWidth() int { return a.sel.Banks() * a.ports }
 
+// Quiescent implements Quiescer: the arbiter carries no cross-cycle state.
+func (a *MultiPortedBanks) Quiescent() bool { return true }
+
 // Grant implements Arbiter: oldest-first, each bank serving up to P
 // requests per cycle regardless of their lines.
 func (a *MultiPortedBanks) Grant(_ uint64, ready []Request, dst []int) []int {

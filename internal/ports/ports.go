@@ -37,6 +37,16 @@ type Arbiter interface {
 	Grant(now uint64, ready []Request, dst []int) []int
 }
 
+// Quiescer is implemented by arbiters that can prove they hold no deferred
+// work: given an empty ready list, Grant would neither return a grant nor
+// change observable state. Stateless designs are always quiescent; queueing
+// designs (LBIC, BankedSQ) are quiescent when every queue is empty. The core
+// only fast-forwards across idle cycles when the arbiter reports quiescence —
+// an arbiter that does not implement the interface disables fast-forward.
+type Quiescer interface {
+	Quiescent() bool
+}
+
 // BankObserver is implemented by bank-organized arbiters that record
 // per-bank grant and conflict counts; run reports export them as the
 // per-bank histograms behind the paper's §3/§4 conflict characterization.

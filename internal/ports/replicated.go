@@ -27,6 +27,9 @@ func NewReplicated(ports int) (*Replicated, error) {
 // Name implements Arbiter.
 func (a *Replicated) Name() string { return fmt.Sprintf("repl-%d", a.ports) }
 
+// Quiescent implements Quiescer: the arbiter carries no cross-cycle state.
+func (a *Replicated) Quiescent() bool { return true }
+
 // PeakWidth implements Arbiter.
 func (a *Replicated) PeakWidth() int { return a.ports }
 

@@ -33,6 +33,9 @@ func (a *Virtual) Name() string { return fmt.Sprintf("virt-%d", a.ClockMultiple)
 // PeakWidth implements Arbiter.
 func (a *Virtual) PeakWidth() int { return a.ideal.PeakWidth() }
 
+// Quiescent implements Quiescer: the arbiter carries no cross-cycle state.
+func (a *Virtual) Quiescent() bool { return true }
+
 // Grant implements Arbiter: identical selection to ideal multi-porting.
 func (a *Virtual) Grant(now uint64, ready []Request, dst []int) []int {
 	return a.ideal.Grant(now, ready, dst)

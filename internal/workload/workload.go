@@ -110,6 +110,12 @@ func CharacterizeWith(prog *isa.Program, maxInsts uint64, geom cache.Geometry) (
 	if err != nil {
 		return Stats{}, err
 	}
+	return CharacterizeStream(prog.Name, m, maxInsts, geom)
+}
+
+// CharacterizeStream is CharacterizeWith over an already-constructed dynamic
+// stream — a live emulator or a trace-cache replay; name labels errors.
+func CharacterizeStream(name string, m trace.Stream, maxInsts uint64, geom cache.Geometry) (Stats, error) {
 	l1, err := cache.NewArray(geom)
 	if err != nil {
 		return Stats{}, err
@@ -131,7 +137,7 @@ func CharacterizeWith(prog *isa.Program, maxInsts uint64, geom cache.Geometry) (
 		}
 	}
 	if s.Insts == 0 {
-		return s, fmt.Errorf("workload: program %q produced no instructions", prog.Name)
+		return s, fmt.Errorf("workload: program %q produced no instructions", name)
 	}
 	mem := s.Loads + s.Stores
 	s.MemPct = 100 * float64(mem) / float64(s.Insts)

@@ -31,6 +31,7 @@ import (
 	"lbic/internal/ports"
 	"lbic/internal/refstream"
 	"lbic/internal/trace"
+	"lbic/internal/tracecache"
 	"lbic/internal/vm"
 	"lbic/internal/workload"
 )
@@ -64,7 +65,21 @@ type (
 	// VerifySummary reports what a verified run's invariant checker
 	// actually covered (see Config.Verify).
 	VerifySummary = oracle.Summary
+	// TraceCache is a record-once/replay-many store of dynamic traces (see
+	// NewTraceCache and Config.Trace).
+	TraceCache = tracecache.Cache
+	// TraceCacheStats snapshots a TraceCache's hit/record/byte counters.
+	TraceCacheStats = tracecache.Stats
 )
+
+// NewTraceCache returns an empty trace cache bounded to budgetBytes of
+// recorded trace data (<= 0 for unlimited). A sweep that simulates the same
+// program under many port organizations records its dynamic trace once and
+// replays the compact encoding for every subsequent run, skipping the
+// emulator entirely; replayed runs are bit-identical to live runs. Share one
+// cache across a whole sweep via Config.Trace (it is concurrency-safe, and
+// concurrent runs of the same program share a single recording).
+func NewTraceCache(budgetBytes int64) *TraceCache { return tracecache.New(budgetBytes) }
 
 // NewBuilder starts assembling a custom program.
 func NewBuilder(name string) *Builder { return isa.NewBuilder(name) }
@@ -240,6 +255,14 @@ type Config struct {
 	// bank conflict, line combine, miss, and writeback (see
 	// NewJSONLEventSink). Deterministic for a given program and config.
 	Events EventSink
+	// Trace, when non-nil, sources the run's dynamic instruction stream from
+	// the cache: the first run of a program records its trace once, and every
+	// later run at the same instruction budget replays the compact recording
+	// instead of re-executing the emulator. Results are bit-identical either
+	// way. Ignored when MaxInsts is 0 (an unbounded recording of a
+	// non-halting program would never finish) or Verify is set (the oracle
+	// needs the live machine's memory image).
+	Trace *TraceCache
 	// Verify attaches the internal/oracle invariant checker to the run:
 	// every cycle's grant set is validated against the organization's
 	// structural rules, no request may be granted twice, loads may not
@@ -276,6 +299,9 @@ type Result struct {
 	// Verify summarizes what the invariant checker covered; nil unless
 	// Config.Verify was set.
 	Verify *VerifySummary
+	// TraceCache snapshots the shared trace cache's counters as of this
+	// run's end; nil for runs that executed the live emulator.
+	TraceCache *TraceCacheStats
 }
 
 // Benchmarks lists the ten SPEC95-like kernels in the paper's Table 2 order.
@@ -355,17 +381,23 @@ func buildArbiter(p PortConfig, lineSize int) (ports.Arbiter, error) {
 // sim bundles one run's wired-up components, shared by Simulate and
 // TraceSimulation.
 type sim struct {
-	arb     ports.Arbiter
-	hier    *cache.Hierarchy
-	core    *cpu.Core
+	arb  ports.Arbiter
+	hier *cache.Hierarchy
+	core *cpu.Core
+	// machine is the live emulator; nil when the run replays a recorded
+	// trace (Config.Trace).
 	machine *emu.Machine
+	// tcache is the trace cache the run replayed from, nil otherwise.
+	tcache *TraceCache
 	// check is the attached invariant checker, nil unless Config.Verify.
 	check *oracle.Checker
 }
 
 // buildSim constructs and wires the arbiter, hierarchy, and core for one run,
-// attaching cfg.Events to every layer that records structured events.
-func buildSim(prog *Program, cfg Config) (*sim, error) {
+// attaching cfg.Events to every layer that records structured events. The
+// instruction stream comes from cfg.Trace when eligible (recording on the
+// first request may block on ctx), from a fresh emulator otherwise.
+func buildSim(ctx context.Context, prog *Program, cfg Config) (*sim, error) {
 	memParams := cache.DefaultParams()
 	if cfg.Mem != nil {
 		memParams = *cfg.Mem
@@ -384,14 +416,26 @@ func buildSim(prog *Program, cfg Config) (*sim, error) {
 	if err != nil {
 		return nil, err
 	}
-	machine, err := emu.New(prog)
+	s := &sim{arb: arb, hier: hier}
+	var stream trace.Stream
+	if cfg.Trace != nil && cfg.MaxInsts > 0 && !cfg.Verify {
+		stream, err = cfg.Trace.Stream(ctx, prog, cfg.MaxInsts)
+		if err != nil {
+			return nil, err
+		}
+		s.tcache = cfg.Trace
+	} else {
+		s.machine, err = emu.New(prog)
+		if err != nil {
+			return nil, err
+		}
+		stream = s.machine
+	}
+	c, err := cpu.New(stream, hier, arb, cpuCfg)
 	if err != nil {
 		return nil, err
 	}
-	c, err := cpu.New(machine, hier, arb, cpuCfg)
-	if err != nil {
-		return nil, err
-	}
+	s.core = c
 	if cfg.Events != nil {
 		c.SetEventSink(cfg.Events)
 		hier.SetEventSink(cfg.Events)
@@ -399,7 +443,6 @@ func buildSim(prog *Program, cfg Config) (*sim, error) {
 			er.SetEventSink(cfg.Events)
 		}
 	}
-	s := &sim{arb: arb, hier: hier, core: c, machine: machine}
 	if cfg.Verify {
 		s.check = oracle.NewChecker(prog, arb)
 		c.SetVerifier(s.check)
@@ -441,6 +484,10 @@ func (s *sim) result(prog *Program, cfg Config, st cpu.Stats) Result {
 		sum := s.check.Summary()
 		res.Verify = &sum
 	}
+	if s.tcache != nil {
+		ts := s.tcache.Stats()
+		res.TraceCache = &ts
+	}
 	return res
 }
 
@@ -476,7 +523,7 @@ func Simulate(prog *Program, cfg Config) (Result, error) {
 func SimulateContext(ctx context.Context, prog *Program, cfg Config) (res Result, err error) {
 	defer recoverSimPanic(prog, &err)
 
-	s, err := buildSim(prog, cfg)
+	s, err := buildSim(ctx, prog, cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -500,6 +547,37 @@ func Characterize(prog *Program, maxInsts uint64) (BenchmarkStats, error) {
 // capacity and associativity sensitivity studies.
 func CharacterizeWith(prog *Program, maxInsts uint64, geom Geometry) (BenchmarkStats, error) {
 	return workload.CharacterizeWith(prog, maxInsts, geom)
+}
+
+// streamFor sources prog's dynamic stream from tc when a cache and a finite
+// budget are available, from a fresh emulator otherwise.
+func streamFor(ctx context.Context, tc *TraceCache, prog *Program, insts uint64) (trace.Stream, error) {
+	if tc != nil && insts > 0 {
+		return tc.Stream(ctx, prog, insts)
+	}
+	return emu.New(prog)
+}
+
+// CharacterizeVia is CharacterizeWith sourcing the dynamic stream from tc
+// (nil tc = live emulator): a sweep that characterizes a benchmark before
+// simulating it warms the trace cache with the same recording the
+// simulations replay.
+func CharacterizeVia(ctx context.Context, tc *TraceCache, prog *Program, maxInsts uint64, geom Geometry) (BenchmarkStats, error) {
+	s, err := streamFor(ctx, tc, prog, maxInsts)
+	if err != nil {
+		return BenchmarkStats{}, err
+	}
+	return workload.CharacterizeStream(prog.Name, s, maxInsts, geom)
+}
+
+// AnalyzeRefStreamVia is AnalyzeRefStream sourcing the dynamic stream from
+// tc (nil tc = live emulator).
+func AnalyzeRefStreamVia(ctx context.Context, tc *TraceCache, prog *Program, banks, lineSize int, maxInsts uint64) (Distribution, error) {
+	s, err := streamFor(ctx, tc, prog, maxInsts)
+	if err != nil {
+		return Distribution{}, err
+	}
+	return refstream.Analyze(s, banks, lineSize, maxInsts)
 }
 
 // DefaultCPUConfig returns the paper's Table 1 processor baseline, for

@@ -86,6 +86,9 @@ type Report struct {
 	// BankConflicts carries the aggregate conflict count for Banked runs.
 	BankConflicts uint64          `json:"bank_conflicts,omitempty"`
 	Metrics       MetricsSnapshot `json:"metrics"`
+	// TraceCache carries the shared trace cache's counters for runs that
+	// replayed a recorded trace (see Config.Trace).
+	TraceCache *TraceCacheStats `json:"trace_cache,omitempty"`
 }
 
 // PeakWidth returns the organization's maximum accesses per cycle.
@@ -152,6 +155,7 @@ func NewReport(res Result) Report {
 		Mem:           res.Mem,
 		LBIC:          res.LBIC,
 		BankConflicts: res.BankConflicts,
+		TraceCache:    res.TraceCache,
 	}
 	if res.Metrics != nil {
 		rep.Metrics = res.Metrics.Snapshot()

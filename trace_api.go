@@ -1,6 +1,7 @@
 package lbic
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -31,7 +32,7 @@ type TraceOptions struct {
 func TraceSimulation(prog *Program, cfg Config, w io.Writer, opt TraceOptions) (res Result, err error) {
 	defer recoverSimPanic(prog, &err)
 
-	s, err := buildSim(prog, cfg)
+	s, err := buildSim(context.Background(), prog, cfg)
 	if err != nil {
 		return Result{}, err
 	}
