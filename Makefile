@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench bench-smoke tables figures ablations fuzz reproduce clean
+.PHONY: all build vet test test-short check bench bench-smoke lbicd-smoke tables figures ablations fuzz reproduce clean
 
 all: build vet test
 
@@ -27,19 +27,28 @@ test-short:
 	$(GO) test -short ./...
 
 # bench runs the full benchmark suite (table regenerations, simulator
-# throughput live vs trace replay, and the zero-alloc core microbenchmark)
-# and records the results as JSON. BENCH_PR4.json in the repo root is the
-# checked-in snapshot; regenerate it here after performance work.
-BENCH_OUT ?= BENCH_PR4.json
+# throughput live vs trace replay, the zero-alloc core microbenchmark, and
+# the lbicd served-vs-direct latency comparison) and records the results as
+# JSON. BENCH_PR5.json in the repo root is the checked-in snapshot;
+# regenerate it here after performance work.
+BENCH_OUT ?= BENCH_PR5.json
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem . ./internal/cpu/ \
+	$(GO) test -run '^$$' -bench . -benchmem . ./internal/cpu/ ./internal/server/ \
 		| $(GO) run ./scripts/benchjson -o $(BENCH_OUT)
 
 # bench-smoke is the CI gate: one iteration of every benchmark, parsed by
 # benchjson so a broken benchmark or malformed output fails the build.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . ./internal/cpu/ \
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . ./internal/cpu/ ./internal/server/ \
 		| $(GO) run ./scripts/benchjson -o /dev/null
+
+# lbicd-smoke starts a real lbicd, checks a served report is byte-identical
+# to the direct in-process run, and that a repeat request is a cache hit.
+lbicd-smoke:
+	$(GO) build -o /tmp/lbicd ./cmd/lbicd
+	/tmp/lbicd -addr 127.0.0.1:8329 & echo $$! > /tmp/lbicd.pid; \
+	trap 'kill $$(cat /tmp/lbicd.pid) 2>/dev/null' EXIT; \
+	$(GO) run ./scripts/lbicdsmoke -addr http://127.0.0.1:8329
 
 tables:
 	$(GO) run ./cmd/lbictables -all

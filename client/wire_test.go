@@ -1,0 +1,77 @@
+package client
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"lbic"
+)
+
+func TestPortSpecStringForm(t *testing.T) {
+	var sp PortSpec
+	if err := json.Unmarshal([]byte(`"lbic-4x2-greedy"`), &sp); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sp.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lbic.LBICPort(4, 2)
+	want.Greedy = true
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("resolved %+v, want %+v", p, want)
+	}
+	raw, err := json.Marshal(Port("bank-8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != `"bank-8"` {
+		t.Errorf("marshal = %s", raw)
+	}
+}
+
+func TestPortSpecObjectForm(t *testing.T) {
+	var sp PortSpec
+	if err := json.Unmarshal([]byte(`{"kind":"lbic","banks":4,"line_ports":2,"store_queue_depth":4}`), &sp); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sp.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Key() != "lbic-4x2-sq4" {
+		t.Errorf("Key() = %q", p.Key())
+	}
+	// Marshal of the object form stays an object.
+	raw, err := json.Marshal(PortOf(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PortSpec
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Config == nil || !reflect.DeepEqual(*back.Config, p) {
+		t.Errorf("object round trip: %s -> %+v", raw, back.Config)
+	}
+}
+
+func TestPortSpecRejectsInvalid(t *testing.T) {
+	for _, src := range []string{`"lbic-3x2"`, `"nope"`, `{"kind":"custom"}`, `{"kind":"lbic","banks":3,"line_ports":2}`, `42`} {
+		var sp PortSpec
+		if err := json.Unmarshal([]byte(src), &sp); err != nil {
+			continue // rejected at decode time is fine too
+		}
+		if _, err := sp.Resolve(); err == nil {
+			t.Errorf("PortSpec %s resolved without error", src)
+		}
+	}
+}
+
+func TestRequestSchemaConstant(t *testing.T) {
+	// The wire contract is versioned; a schema bump must be deliberate.
+	if RequestSchema != "lbic-sim-request/v1" {
+		t.Fatalf("RequestSchema = %q", RequestSchema)
+	}
+}

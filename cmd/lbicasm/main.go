@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -55,7 +56,7 @@ func main() {
 	}
 
 	if !*sim {
-		stats, err := lbic.Characterize(prog, *insts)
+		stats, err := lbic.Characterize(context.Background(), prog, lbic.CharacterizeOptions{Insts: *insts})
 		if err != nil {
 			fatal(err)
 		}

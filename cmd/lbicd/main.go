@@ -1,0 +1,102 @@
+// Command lbicd serves simulations over HTTP: single runs (/v1/simulate),
+// whole sweeps as streamable jobs (/v1/sweep, /v1/jobs/{id}), health and
+// metrics endpoints — with one process-wide trace cache and result cache so
+// repeated requests replay instead of re-simulating.
+//
+//	lbicd -addr :8329
+//	curl -s localhost:8329/healthz
+//	curl -s -d '{"schema":"lbic-sim-request/v1","benchmark":"compress","port":"lbic-4x2","insts":100000}' \
+//	     localhost:8329/v1/simulate
+//
+// On SIGTERM or SIGINT the server drains gracefully: new requests are
+// rejected with 503 while in-flight requests and accepted jobs finish (up
+// to -drain-timeout); a second signal aborts immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lbic/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8329", "listen address")
+		jobs         = flag.Int("jobs", 0, "max concurrently executing cells (0 = GOMAXPROCS)")
+		queueLimit   = flag.Int("queue", 1024, "max admitted-but-unfinished cells before 429 (-1 = unlimited)")
+		cellTimeout  = flag.Duration("cell-timeout", 5*time.Minute, "per-cell deadline (0 = none)")
+		retries      = flag.Int("retries", 0, "re-attempts for failed (non-timeout) cells")
+		traceCacheMB = flag.Int64("trace-cache-mb", 256, "trace cache budget in MiB (-1 = disable)")
+		resultMB     = flag.Int64("result-cache-mb", 64, "result cache budget in MiB (-1 = disable)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful drain deadline on SIGTERM")
+	)
+	flag.Parse()
+
+	mb := func(v int64) int64 {
+		if v < 0 {
+			return -1
+		}
+		return v << 20
+	}
+	cellT := *cellTimeout
+	if cellT == 0 {
+		cellT = -1 // Options maps <0 to "no deadline"; 0 means "default".
+	}
+	srv := server.New(server.Options{
+		MaxParallel:      *jobs,
+		QueueLimit:       *queueLimit,
+		CellTimeout:      cellT,
+		Retries:          *retries,
+		TraceCacheBytes:  mb(*traceCacheMB),
+		ResultCacheBytes: mb(*resultMB),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("lbicd: %v", err)
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("lbicd: listening on %s", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errc:
+		log.Fatalf("lbicd: %v", err)
+	case s := <-sig:
+		log.Printf("lbicd: %v received, draining (in-flight jobs finish; again to abort)", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		<-sig
+		log.Printf("lbicd: second signal, aborting")
+		cancel()
+	}()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("lbicd: drain incomplete: %v", err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("lbicd: shutdown: %v", err)
+	}
+	fmt.Println("lbicd: bye")
+}

@@ -6,11 +6,14 @@
 //	lbicsim -bench mgrid -port lbic -banks 4 -lineports 2 -insts 2000000
 //	lbicsim -bench compress -port lbic -banks 4 -lineports 2 -json run.json
 //	lbicsim -bench compress -port banked -banks 4 -metrics
+//	lbicsim -bench compress -port lbic-4x2-greedy
+//	lbicsim -bench compress -config run.json
 //	lbicsim -list
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +28,8 @@ func main() {
 	var (
 		bench      = flag.String("bench", "compress", "benchmark kernel to run")
 		pattern    = flag.String("pattern", "", "run an access-pattern microbenchmark instead of -bench")
-		portKind   = flag.String("port", "ideal", "port organization: ideal | repl | banked | banksq | mpb | lbic")
+		configPath = flag.String("config", "", "load the full simulation Config from this JSON file (flags set explicitly still override)")
+		portKind   = flag.String("port", "ideal", "port organization: ideal | repl | banked | banksq | mpb | lbic, or a full name like lbic-4x2")
 		width      = flag.Int("width", 1, "port count (ideal, repl, mpb ports per bank)")
 		banks      = flag.Int("banks", 4, "bank count (banked, banksq, mpb, lbic)")
 		linePorts  = flag.Int("lineports", 2, "per-bank line-buffer ports (lbic)")
@@ -53,23 +57,33 @@ func main() {
 		return
 	}
 
-	var port lbic.PortConfig
-	switch strings.ToLower(*portKind) {
-	case "ideal", "true":
-		port = lbic.IdealPort(*width)
-	case "repl", "replicated":
-		port = lbic.ReplicatedPort(*width)
-	case "bank", "banked":
-		port = lbic.BankedPort(*banks)
-	case "banksq":
-		port = lbic.BankedSQPort(*banks)
-	case "mpb":
-		port = lbic.MultiPortedBanksPort(*banks, *width)
-	case "lbic":
-		port = lbic.LBICPort(*banks, *linePorts)
-	default:
-		fatal(fmt.Errorf("unknown port organization %q", *portKind))
+	// Flags given explicitly on the command line override a -config file.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	cfg := lbic.DefaultConfig()
+	if *configPath != "" {
+		raw, err := os.ReadFile(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(raw, &cfg); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *configPath, err))
+		}
 	}
+	if *configPath == "" || set["port"] || set["width"] || set["banks"] || set["lineports"] {
+		cfg.Port = parsePort(*portKind, *width, *banks, *linePorts)
+	}
+	if *configPath == "" || set["insts"] {
+		cfg.MaxInsts = *insts
+	}
+	if *configPath == "" || set["verify"] {
+		cfg.Verify = *verify
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	port := cfg.Port
 
 	var prog *lbic.Program
 	var err error
@@ -81,10 +95,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := lbic.DefaultConfig()
-	cfg.Port = port
-	cfg.MaxInsts = *insts
-	cfg.Verify = *verify
 
 	var eventSink *lbic.JSONLEventSink
 	if *eventsOut != "" {
@@ -186,6 +196,31 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// parsePort resolves -port: a kind keyword combined with -width/-banks/
+// -lineports, or a full compact name like "lbic-4x2-greedy" (the
+// ParsePortName grammar).
+func parsePort(kind string, width, banks, linePorts int) lbic.PortConfig {
+	switch strings.ToLower(kind) {
+	case "ideal", "true":
+		return lbic.IdealPort(width)
+	case "repl", "replicated":
+		return lbic.ReplicatedPort(width)
+	case "bank", "banked":
+		return lbic.BankedPort(banks)
+	case "banksq":
+		return lbic.BankedSQPort(banks)
+	case "mpb":
+		return lbic.MultiPortedBanksPort(banks, width)
+	case "lbic":
+		return lbic.LBICPort(banks, linePorts)
+	}
+	port, err := lbic.ParsePortName(kind)
+	if err != nil {
+		fatal(fmt.Errorf("unknown port organization %q", kind))
+	}
+	return port
 }
 
 func render(t *lbic.Table) {

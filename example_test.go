@@ -1,6 +1,7 @@
 package lbic_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,7 +51,7 @@ func ExampleAssemble() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	stats, err := lbic.Characterize(prog, 100)
+	stats, err := lbic.Characterize(context.Background(), prog, lbic.CharacterizeOptions{Insts: 100})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -100,7 +100,7 @@ func main() {
 			}
 			return res.IPC
 		}
-		custom := lbic.CustomPort(func(lineSize int) (lbic.Arbiter, error) {
+		custom := lbic.CustomPort("two-line-lbic", func(lineSize int) (lbic.Arbiter, error) {
 			return newTwoLineLBIC(4, 2, lineSize)
 		})
 		fmt.Printf("%-9s %10.3f %10.3f %10.3f %10.3f\n", bench,

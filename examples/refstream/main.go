@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -24,7 +25,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		d, err := lbic.AnalyzeRefStream(prog, 4, 32, 400_000)
+		d, err := lbic.AnalyzeRefStream(context.Background(), prog, lbic.RefStreamOptions{Banks: 4, LineSize: 32, Insts: 400_000})
 		if err != nil {
 			log.Fatal(err)
 		}

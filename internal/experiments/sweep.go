@@ -208,7 +208,7 @@ func (sw *Sweep) simBench(name string, port lbic.PortConfig) runner.Cell[float64
 // simBenchMut is simBench with a Config mutation; suffix must uniquely
 // encode the mutation (e.g. "lsq32") since PortConfig.Name does not see it.
 func (sw *Sweep) simBenchMut(name string, port lbic.PortConfig, suffix string, mut func(*lbic.Config)) runner.Cell[float64] {
-	key := fmt.Sprintf("sim/%s/%s/i%d", name, portKey(port), sw.Insts)
+	key := fmt.Sprintf("sim/%s/%s/i%d", name, port.Key(), sw.Insts)
 	if suffix != "" {
 		key += "/" + suffix
 	}
@@ -219,19 +219,9 @@ func (sw *Sweep) simBenchMut(name string, port lbic.PortConfig, suffix string, m
 // simPattern is one access-pattern microbenchmark under one port
 // organization.
 func (sw *Sweep) simPattern(name string, port lbic.PortConfig) runner.Cell[float64] {
-	key := fmt.Sprintf("sim/pat:%s/%s/i%d", name, portKey(port), sw.Insts)
+	key := fmt.Sprintf("sim/pat:%s/%s/i%d", name, port.Key(), sw.Insts)
 	build := func() (*lbic.Program, error) { return sw.patternProg(name) }
 	return sw.simCell(key, build, port, nil)
-}
-
-// portKey extends PortConfig.Name with the store-queue depth override, which
-// the display name deliberately omits but the checkpoint identity needs.
-func portKey(port lbic.PortConfig) string {
-	name := port.Name()
-	if port.StoreQueueDepth != 0 {
-		name += fmt.Sprintf("-sq%d", port.StoreQueueDepth)
-	}
-	return name
 }
 
 func (sw *Sweep) simCell(key string, build func() (*lbic.Program, error), port lbic.PortConfig, mut func(*lbic.Config)) runner.Cell[float64] {
@@ -267,7 +257,7 @@ func (sw *Sweep) charCell(name string, geom lbic.Geometry) runner.Cell[lbic.Benc
 		if err != nil {
 			return lbic.BenchmarkStats{}, err
 		}
-		return lbic.CharacterizeVia(ctx, tc, prog, insts, geom)
+		return lbic.Characterize(ctx, prog, lbic.CharacterizeOptions{Insts: insts, Geom: geom, Trace: tc})
 	}}
 }
 
@@ -282,7 +272,7 @@ func (sw *Sweep) missRateCell(name string, geom lbic.Geometry) runner.Cell[float
 		if err != nil {
 			return 0, err
 		}
-		s, err := lbic.CharacterizeVia(ctx, tc, prog, insts, geom)
+		s, err := lbic.Characterize(ctx, prog, lbic.CharacterizeOptions{Insts: insts, Geom: geom, Trace: tc})
 		if err != nil {
 			return 0, err
 		}
@@ -305,7 +295,7 @@ func (sw *Sweep) refCell(name string, banks, lineSize int) runner.Cell[lbic.Dist
 		if err != nil {
 			return lbic.Distribution{}, err
 		}
-		return lbic.AnalyzeRefStreamVia(ctx, tc, prog, banks, lineSize, insts)
+		return lbic.AnalyzeRefStream(ctx, prog, lbic.RefStreamOptions{Banks: banks, LineSize: lineSize, Insts: insts, Trace: tc})
 	}}
 }
 

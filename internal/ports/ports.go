@@ -108,6 +108,39 @@ func (k SelectorKind) String() string {
 	}
 }
 
+// MarshalText encodes the selector as its canonical name, so SelectorKind
+// fields serialize readably in JSON configs and service requests.
+func (k SelectorKind) MarshalText() ([]byte, error) {
+	switch k {
+	case BitSelect, XorFold, WordInterleave:
+		return []byte(k.String()), nil
+	}
+	return nil, fmt.Errorf("ports: unknown selector kind %d", int(k))
+}
+
+// UnmarshalText is the inverse of MarshalText.
+func (k *SelectorKind) UnmarshalText(text []byte) error {
+	p, err := ParseSelectorKind(string(text))
+	if err != nil {
+		return err
+	}
+	*k = p
+	return nil
+}
+
+// ParseSelectorKind maps a canonical selector name back to its kind.
+func ParseSelectorKind(name string) (SelectorKind, error) {
+	switch name {
+	case "bit-select":
+		return BitSelect, nil
+	case "xor-fold":
+		return XorFold, nil
+	case "word-interleave":
+		return WordInterleave, nil
+	}
+	return 0, fmt.Errorf("ports: unknown selector kind %q (have bit-select, xor-fold, word-interleave)", name)
+}
+
 // BankSelector maps addresses to banks.
 type BankSelector struct {
 	kind     SelectorKind

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"lbic"
+	"lbic/client"
+	"lbic/internal/runner"
+)
+
+// cellSpec is one validated unit of simulation work: a named program under
+// a full configuration, with the stable key the result cache, singleflight,
+// and journal-style identities all share.
+type cellSpec struct {
+	// benchmark or pattern names the program; exactly one is set.
+	benchmark string
+	pattern   string
+	port      lbic.PortConfig
+	insts     uint64
+	cpu       *lbic.CPUConfig
+	mem       *lbic.MemParams
+	key       string
+}
+
+// progToken is the program's name component of the cell key.
+func (sp *cellSpec) progToken() string {
+	if sp.pattern != "" {
+		return "pat:" + sp.pattern
+	}
+	return sp.benchmark
+}
+
+// compileSpec validates one (program, port, budget) point against the
+// request schema's rules and computes its stable key.
+func (s *Server) compileSpec(benchmark, pattern string, port client.PortSpec, insts uint64, cpu *lbic.CPUConfig, mem *lbic.MemParams) (cellSpec, error) {
+	sp := cellSpec{benchmark: benchmark, pattern: pattern, insts: insts, cpu: cpu, mem: mem}
+	switch {
+	case benchmark == "" && pattern == "":
+		return sp, fmt.Errorf("one of benchmark or pattern is required")
+	case benchmark != "" && pattern != "":
+		return sp, fmt.Errorf("benchmark and pattern are mutually exclusive")
+	}
+	if insts == 0 {
+		return sp, fmt.Errorf("insts must be positive (the kernels are non-halting steady-state loops)")
+	}
+	// Build now so an unknown name fails the request, not the cell; the
+	// instance is cached for the simulation itself.
+	if _, err := s.program(&sp); err != nil {
+		return sp, err
+	}
+	p, err := port.Resolve()
+	if err != nil {
+		return sp, err
+	}
+	sp.port = p
+	cfg := lbic.DefaultConfig()
+	cfg.Port = p
+	cfg.MaxInsts = insts
+	cfg.CPU = cpu
+	cfg.Mem = mem
+	if err := cfg.Validate(); err != nil {
+		return sp, err
+	}
+	sp.key = fmt.Sprintf("sim/%s/%s/i%d", sp.progToken(), p.Key(), insts)
+	if cpu != nil || mem != nil {
+		// Overrides are not in the readable key; a hash of their JSON keeps
+		// distinct configurations from colliding in the caches.
+		h := fnv.New64a()
+		enc, err := json.Marshal(struct {
+			CPU *lbic.CPUConfig `json:"cpu,omitempty"`
+			Mem *lbic.MemParams `json:"mem,omitempty"`
+		}{cpu, mem})
+		if err != nil {
+			return sp, err
+		}
+		h.Write(enc)
+		sp.key += fmt.Sprintf("/c%x", h.Sum64())
+	}
+	return sp, nil
+}
+
+// program returns the cell's built program, cached per name so the whole
+// process shares one instance (and therefore one memoized fingerprint and
+// one trace-cache recording) per program.
+func (s *Server) program(sp *cellSpec) (*lbic.Program, error) {
+	token := sp.progToken()
+	s.progMu.Lock()
+	defer s.progMu.Unlock()
+	if p, ok := s.programs[token]; ok {
+		return p, nil
+	}
+	var (
+		p   *lbic.Program
+		err error
+	)
+	if sp.pattern != "" {
+		p, err = lbic.BuildPattern(sp.pattern)
+	} else {
+		p, err = lbic.BuildBenchmark(sp.benchmark)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.programs[token] = p
+	return p, nil
+}
+
+// flight is one in-progress cell execution; concurrent requests for the
+// same key wait on done instead of running their own copy.
+type flight struct {
+	done  chan struct{}
+	bytes []byte
+	err   error
+}
+
+// executeCell produces one cell's report: result cache, then singleflight
+// dedup, then an actual bounded, isolated simulation. ctx only governs this
+// caller's wait — the simulation itself runs under the server's lifetime so
+// one impatient client cannot poison the waiters sharing its flight.
+func (s *Server) executeCell(ctx context.Context, sp cellSpec) client.CellResult {
+	cr := client.CellResult{Key: sp.key, Benchmark: sp.progToken(), Port: sp.port.Key()}
+	if b, ok := s.results.get(sp.key); ok {
+		cr.Cached = true
+		cr.Report = b
+		return cr
+	}
+
+	s.flightMu.Lock()
+	if f, ok := s.inflight[sp.key]; ok {
+		s.flightMu.Unlock()
+		select {
+		case <-f.done:
+			s.mSingleflightShared.Add(1)
+			if f.err != nil {
+				cr.Error = f.err.Error()
+			} else {
+				cr.Report = f.bytes
+			}
+		case <-ctx.Done():
+			cr.Error = ctx.Err().Error()
+		}
+		return cr
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[sp.key] = f
+	s.flightMu.Unlock()
+
+	f.bytes, f.err = s.simulateCell(sp)
+	if f.err == nil {
+		s.results.put(sp.key, f.bytes)
+	}
+	s.flightMu.Lock()
+	delete(s.inflight, sp.key)
+	s.flightMu.Unlock()
+	close(f.done)
+
+	if f.err != nil {
+		cr.Error = f.err.Error()
+	} else {
+		cr.Report = f.bytes
+	}
+	return cr
+}
+
+// simulateCell runs the actual simulation: one slot of the server-wide
+// parallelism bound, one runner cell for the per-cell deadline and panic
+// isolation, the shared trace cache for record-once/replay-many streaming.
+func (s *Server) simulateCell(sp cellSpec) ([]byte, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.baseCtx.Done():
+		return nil, s.baseCtx.Err()
+	}
+	defer func() { <-s.sem }()
+
+	cell := runner.Cell[[]byte]{Key: sp.key, Run: func(ctx context.Context) ([]byte, error) {
+		prog, err := s.program(&sp)
+		if err != nil {
+			return nil, err
+		}
+		cfg := lbic.DefaultConfig()
+		cfg.Port = sp.port
+		cfg.MaxInsts = sp.insts
+		cfg.CPU = sp.cpu
+		cfg.Mem = sp.mem
+		cfg.Trace = s.traces
+		res, err := lbic.SimulateContext(ctx, prog, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Replayed runs are bit-identical to live ones; dropping the trace
+		// cache counters makes the served report byte-identical to a direct
+		// Simulate + NewReport of the same configuration.
+		res.TraceCache = nil
+		var buf bytes.Buffer
+		if err := lbic.NewReport(res).WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}}
+	out, _ := runner.Run(s.baseCtx, []runner.Cell[[]byte]{cell}, runner.Options{
+		Timeout:   s.opts.CellTimeout,
+		Retries:   s.opts.Retries,
+		KeepGoing: true,
+	})
+	r := out.Results[0]
+	s.mCellsExecuted.Add(1)
+	if r.Err != nil {
+		s.mCellFailures.Add(1)
+		return nil, r.Err
+	}
+	return r.Value, nil
+}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"sync"
+
+	"lbic/client"
+)
+
+// job tracks one accepted sweep: its cells' results in completion order and
+// a broadcast channel for streaming subscribers. Publishing appends the
+// event and wakes every waiter by closing-and-replacing the wake channel,
+// so a late subscriber replays the backlog and then tails live events with
+// no per-subscriber queues to overflow.
+type job struct {
+	id    string
+	total int
+
+	mu     sync.Mutex
+	events []client.StreamEvent
+	wake   chan struct{}
+	done   int
+	failed int
+	final  bool
+}
+
+func newJob(id string, total int) *job {
+	return &job{id: id, total: total, wake: make(chan struct{})}
+}
+
+// publishCell records one finished cell.
+func (j *job) publishCell(cr client.CellResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if cr.Error != "" {
+		j.failed++
+	}
+	j.done++
+	j.events = append(j.events, client.StreamEvent{Type: "cell", Cell: &cr})
+	j.broadcast()
+}
+
+// finish marks the job complete: done when every cell settled, canceled
+// when the server shut down first.
+func (j *job) finish() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.final = true
+	st := j.statusLocked(false)
+	j.events = append(j.events, client.StreamEvent{Type: "done", Status: &st})
+	j.broadcast()
+}
+
+func (j *job) broadcast() {
+	close(j.wake)
+	j.wake = make(chan struct{})
+}
+
+// statusLocked assembles the job's status; withResults includes the cell
+// bulk. Callers hold j.mu.
+func (j *job) statusLocked(withResults bool) client.JobStatus {
+	st := client.JobStatus{
+		ID: j.id, State: client.JobRunning,
+		Total: j.total, Done: j.done, Failed: j.failed,
+	}
+	if j.final {
+		st.State = client.JobDone
+		if j.done < j.total {
+			st.State = client.JobCanceled
+		}
+	}
+	if withResults {
+		for _, ev := range j.events {
+			if ev.Type == "cell" && ev.Cell != nil {
+				st.Results = append(st.Results, *ev.Cell)
+			}
+		}
+	}
+	return st
+}
+
+// status snapshots the job.
+func (j *job) status(withResults bool) client.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked(withResults)
+}
+
+// next returns the backlog events from index i on, plus a wake channel that
+// closes when more arrive, plus whether the job is final. An empty slice
+// with final=false means wait on wake.
+func (j *job) next(i int) (evs []client.StreamEvent, wake <-chan struct{}, final bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < len(j.events) {
+		evs = j.events[i:len(j.events):len(j.events)]
+	}
+	return evs, j.wake, j.final
+}

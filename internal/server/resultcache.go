@@ -1,0 +1,103 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a byte-budget LRU of finished cell reports keyed by the
+// stable cell key (program identity + full configuration). It is the second
+// layer of the server's reuse story: the trace cache avoids re-emulating a
+// program, the result cache avoids re-simulating a (program, config) pair
+// at all — a repeated sweep is served without running anything.
+type resultCache struct {
+	mu     sync.Mutex
+	budget int64
+	live   int64
+	lru    *list.List // front = most recent; values are *resultEntry
+	byKey  map[string]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type resultEntry struct {
+	key   string
+	bytes []byte
+}
+
+// newResultCache returns a cache bounded to budgetBytes of report bytes
+// (<= 0 for unlimited).
+func newResultCache(budgetBytes int64) *resultCache {
+	return &resultCache{budget: budgetBytes, lru: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached report for key, marking it most recently used.
+// A nil receiver (cache disabled) always misses.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*resultEntry).bytes, true
+}
+
+// put stores a report, evicting least-recently-used entries past the
+// budget. Reports larger than the whole budget are not cached.
+func (c *resultCache) put(key string, b []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget > 0 && int64(len(b)) > c.budget {
+		return
+	}
+	if el, ok := c.byKey[key]; ok {
+		old := el.Value.(*resultEntry)
+		c.live += int64(len(b)) - int64(len(old.bytes))
+		old.bytes = b
+		c.lru.MoveToFront(el)
+	} else {
+		c.byKey[key] = c.lru.PushFront(&resultEntry{key: key, bytes: b})
+		c.live += int64(len(b))
+	}
+	for c.budget > 0 && c.live > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*resultEntry)
+		c.lru.Remove(back)
+		delete(c.byKey, e.key)
+		c.live -= int64(len(e.bytes))
+		c.evictions++
+	}
+}
+
+// resultCacheStats is a snapshot of the cache's counters for /metrics.
+type resultCacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	BytesLive int64
+}
+
+func (c *resultCache) stats() resultCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return resultCacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: len(c.byKey), BytesLive: c.live,
+	}
+}

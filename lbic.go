@@ -141,6 +141,8 @@ func (k PortKind) String() string {
 		return "BankSQ"
 	case MultiPortedBanks:
 		return "MPB"
+	case customPortKind:
+		return "Custom"
 	default:
 		return "port(?)"
 	}
@@ -161,23 +163,30 @@ const (
 	WordInterleave = ports.WordInterleave
 )
 
-// PortConfig describes one cache port organization instance.
+// PortConfig describes one cache port organization instance. It marshals to
+// JSON with the kind and selector as their canonical name tokens, so the CLI,
+// the lbicd service schema, and sweep journals share one serialization; the
+// compact one-line form is Key (parsed back by ParsePortName). Custom ports
+// do not round-trip — the factory is a function — and fail to unmarshal.
 type PortConfig struct {
-	Kind PortKind
+	Kind PortKind `json:"kind"`
 	// Width is the port count for Ideal and Replicated.
-	Width int
+	Width int `json:"width,omitempty"`
 	// Banks is the bank count for Banked and LBIC.
-	Banks int
+	Banks int `json:"banks,omitempty"`
 	// LinePorts is N, the per-bank line-buffer port count, for LBIC.
-	LinePorts int
+	LinePorts int `json:"line_ports,omitempty"`
 	// Selector overrides the bank selection function for Banked (the LBIC
 	// requires line interleaving, §5.1). Zero value is BitSelect.
-	Selector BankSelectorKind
+	Selector BankSelectorKind `json:"selector,omitempty"`
 	// Greedy selects the §5.2 largest-group line policy for LBIC.
-	Greedy bool
+	Greedy bool `json:"greedy,omitempty"`
 	// StoreQueueDepth overrides the LBIC per-bank store queue depth
 	// (0 = default).
-	StoreQueueDepth int
+	StoreQueueDepth int `json:"store_queue_depth,omitempty"`
+	// Label distinguishes custom arbiters from each other in names, journal
+	// cell keys, and the lbicd result cache (see CustomPort).
+	Label string `json:"label,omitempty"`
 
 	// custom holds a user-supplied arbiter factory (see CustomPort).
 	custom func(lineSize int) (ports.Arbiter, error)
@@ -235,26 +244,43 @@ func (p PortConfig) Name() string {
 	case MultiPortedBanks:
 		return fmt.Sprintf("mpb-%dx%d", p.Banks, p.Width)
 	case customPortKind:
+		if p.Label != "" {
+			return "custom-" + p.Label
+		}
 		return "custom"
 	default:
 		return "port(?)"
 	}
 }
 
-// Config is a complete simulation configuration.
+// Key returns the port's full configuration identity: Name plus the
+// store-queue depth override, which the display name deliberately omits.
+// It is the serialization used by sweep journal cell keys and the lbicd
+// result cache, and (custom ports aside) ParsePortName inverts it.
+func (p PortConfig) Key() string {
+	name := p.Name()
+	if p.StoreQueueDepth != 0 {
+		name += fmt.Sprintf("-sq%d", p.StoreQueueDepth)
+	}
+	return name
+}
+
+// Config is a complete simulation configuration. It marshals to JSON —
+// the serialization shared by `lbicsim -config`, the lbicd service schema,
+// and run reports — with the process-local fields (Events, Trace) excluded.
 type Config struct {
 	// Port selects the L1 port organization.
-	Port PortConfig
+	Port PortConfig `json:"port"`
 	// MaxInsts stops the run after this many instructions (0 = stream end).
-	MaxInsts uint64
+	MaxInsts uint64 `json:"max_insts,omitempty"`
 	// CPU overrides the Table 1 processor baseline when non-nil.
-	CPU *CPUConfig
+	CPU *CPUConfig `json:"cpu,omitempty"`
 	// Mem overrides the Table 1 memory hierarchy baseline when non-nil.
-	Mem *MemParams
+	Mem *MemParams `json:"mem,omitempty"`
 	// Events, when non-nil, receives one structured event per cache access,
 	// bank conflict, line combine, miss, and writeback (see
 	// NewJSONLEventSink). Deterministic for a given program and config.
-	Events EventSink
+	Events EventSink `json:"-"`
 	// Trace, when non-nil, sources the run's dynamic instruction stream from
 	// the cache: the first run of a program records its trace once, and every
 	// later run at the same instruction budget replays the compact recording
@@ -262,7 +288,7 @@ type Config struct {
 	// way. Ignored when MaxInsts is 0 (an unbounded recording of a
 	// non-halting program would never finish) or Verify is set (the oracle
 	// needs the live machine's memory image).
-	Trace *TraceCache
+	Trace *TraceCache `json:"-"`
 	// Verify attaches the internal/oracle invariant checker to the run:
 	// every cycle's grant set is validated against the organization's
 	// structural rules, no request may be granted twice, loads may not
@@ -271,7 +297,7 @@ type Config struct {
 	// final memory image must match. Violations fail the run with a
 	// descriptive error. Complete runs only get the end-of-run checks;
 	// truncated traces (TraceOptions.MaxCycles) are verified per cycle.
-	Verify bool
+	Verify bool `json:"verify,omitempty"`
 }
 
 // DefaultConfig returns the paper's baseline with a single ideal port and a
@@ -537,16 +563,49 @@ func SimulateContext(ctx context.Context, prog *Program, cfg Config) (res Result
 	return s.result(prog, cfg, st), nil
 }
 
-// Characterize measures a program's Table 2 statistics (memory instruction
-// fraction, store-to-load ratio, 32KB direct-mapped miss rate) functionally.
-func Characterize(prog *Program, maxInsts uint64) (BenchmarkStats, error) {
-	return workload.Characterize(prog, maxInsts)
+// CharacterizeOptions configures Characterize. The zero value measures the
+// paper's Table 2 statistics against the default 32KB direct-mapped L1 over
+// a live emulator; set Insts to bound the measured stream.
+type CharacterizeOptions struct {
+	// Insts bounds the measured dynamic stream; it must be positive (the
+	// characterized kernels are non-halting steady-state loops).
+	Insts uint64
+	// Geom is the L1 geometry miss rates are measured against, for capacity
+	// and associativity sensitivity studies. The zero value selects the
+	// paper's 32KB direct-mapped, 32-byte-line cache.
+	Geom Geometry
+	// Trace, when non-nil, sources the dynamic stream from the trace cache
+	// (recording on first use, replaying thereafter): a sweep that
+	// characterizes a benchmark before simulating it warms the cache with
+	// the same recording the simulations replay.
+	Trace *TraceCache
 }
 
-// CharacterizeWith is Characterize against an arbitrary L1 geometry, for
-// capacity and associativity sensitivity studies.
+// defaultCharacterizeGeom is the paper's Table 2 measurement cache.
+func defaultCharacterizeGeom() Geometry {
+	return Geometry{Size: 32 << 10, LineSize: 32, Assoc: 1}
+}
+
+// Characterize measures a program's Table 2 statistics (memory instruction
+// fraction, store-to-load ratio, miss rate against opts.Geom) functionally.
+// Canceling ctx stops a recording in progress (see CharacterizeOptions.Trace).
+func Characterize(ctx context.Context, prog *Program, opts CharacterizeOptions) (BenchmarkStats, error) {
+	geom := opts.Geom
+	if geom == (Geometry{}) {
+		geom = defaultCharacterizeGeom()
+	}
+	s, err := streamFor(ctx, opts.Trace, prog, opts.Insts)
+	if err != nil {
+		return BenchmarkStats{}, err
+	}
+	return workload.CharacterizeStream(prog.Name, s, opts.Insts, geom)
+}
+
+// CharacterizeWith is Characterize against an arbitrary L1 geometry.
+//
+// Deprecated: use Characterize with CharacterizeOptions{Insts, Geom}.
 func CharacterizeWith(prog *Program, maxInsts uint64, geom Geometry) (BenchmarkStats, error) {
-	return workload.CharacterizeWith(prog, maxInsts, geom)
+	return Characterize(context.Background(), prog, CharacterizeOptions{Insts: maxInsts, Geom: geom})
 }
 
 // streamFor sources prog's dynamic stream from tc when a cache and a finite
@@ -558,26 +617,21 @@ func streamFor(ctx context.Context, tc *TraceCache, prog *Program, insts uint64)
 	return emu.New(prog)
 }
 
-// CharacterizeVia is CharacterizeWith sourcing the dynamic stream from tc
-// (nil tc = live emulator): a sweep that characterizes a benchmark before
-// simulating it warms the trace cache with the same recording the
-// simulations replay.
+// CharacterizeVia is Characterize sourcing the dynamic stream from tc
+// (nil tc = live emulator).
+//
+// Deprecated: use Characterize with CharacterizeOptions{Insts, Geom, Trace}.
 func CharacterizeVia(ctx context.Context, tc *TraceCache, prog *Program, maxInsts uint64, geom Geometry) (BenchmarkStats, error) {
-	s, err := streamFor(ctx, tc, prog, maxInsts)
-	if err != nil {
-		return BenchmarkStats{}, err
-	}
-	return workload.CharacterizeStream(prog.Name, s, maxInsts, geom)
+	return Characterize(ctx, prog, CharacterizeOptions{Insts: maxInsts, Geom: geom, Trace: tc})
 }
 
 // AnalyzeRefStreamVia is AnalyzeRefStream sourcing the dynamic stream from
 // tc (nil tc = live emulator).
+//
+// Deprecated: use AnalyzeRefStream with RefStreamOptions{Banks, LineSize,
+// Insts, Trace}.
 func AnalyzeRefStreamVia(ctx context.Context, tc *TraceCache, prog *Program, banks, lineSize int, maxInsts uint64) (Distribution, error) {
-	s, err := streamFor(ctx, tc, prog, maxInsts)
-	if err != nil {
-		return Distribution{}, err
-	}
-	return refstream.Analyze(s, banks, lineSize, maxInsts)
+	return AnalyzeRefStream(ctx, prog, RefStreamOptions{Banks: banks, LineSize: lineSize, Insts: maxInsts, Trace: tc})
 }
 
 // DefaultCPUConfig returns the paper's Table 1 processor baseline, for
@@ -604,14 +658,37 @@ const (
 	ClassStore  = isa.ClassStore
 )
 
+// RefStreamOptions configures AnalyzeRefStream. Zero fields take the
+// paper's Figure 3 defaults: 4 banks, 32-byte lines, unbounded stream.
+type RefStreamOptions struct {
+	// Banks is the bank count of the modeled infinite line-interleaved
+	// cache; 0 selects the paper's 4.
+	Banks int
+	// LineSize is the interleaving granularity in bytes; 0 selects 32.
+	LineSize int
+	// Insts bounds the analyzed dynamic stream; 0 means run to completion
+	// (only meaningful for halting programs).
+	Insts uint64
+	// Trace, when non-nil and Insts > 0, sources the dynamic stream from
+	// the trace cache instead of a live emulator.
+	Trace *TraceCache
+}
+
 // AnalyzeRefStream computes the Figure 3 consecutive-reference distribution
 // of a program over an infinite banks-way line-interleaved cache.
-func AnalyzeRefStream(prog *Program, banks, lineSize int, maxInsts uint64) (Distribution, error) {
-	m, err := emu.New(prog)
+func AnalyzeRefStream(ctx context.Context, prog *Program, opts RefStreamOptions) (Distribution, error) {
+	banks, lineSize := opts.Banks, opts.LineSize
+	if banks == 0 {
+		banks = 4
+	}
+	if lineSize == 0 {
+		lineSize = 32
+	}
+	s, err := streamFor(ctx, opts.Trace, prog, opts.Insts)
 	if err != nil {
 		return Distribution{}, err
 	}
-	return refstream.Analyze(m, banks, lineSize, maxInsts)
+	return refstream.Analyze(s, banks, lineSize, opts.Insts)
 }
 
 // compile-time check: the emulator satisfies the stream contract.

@@ -78,9 +78,9 @@ func TestCustomPort(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := lbic.DefaultConfig()
-	cfg.Port = lbic.CustomPort(factory)
+	cfg.Port = lbic.CustomPort("oldest-only", factory)
 	cfg.MaxInsts = 40_000
-	if cfg.Port.Name() != "custom" {
+	if cfg.Port.Name() != "custom-oldest-only" {
 		t.Errorf("Name() = %q", cfg.Port.Name())
 	}
 	res, err := lbic.Simulate(prog, cfg)

@@ -1,6 +1,7 @@
 package lbic_test
 
 import (
+	"context"
 	"testing"
 
 	"lbic"
@@ -225,7 +226,7 @@ func TestRefStreamSkew(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		d, err := lbic.AnalyzeRefStream(prog, 4, 32, testInsts)
+		d, err := lbic.AnalyzeRefStream(context.Background(), prog, lbic.RefStreamOptions{Banks: 4, LineSize: 32, Insts: testInsts})
 		if err != nil {
 			t.Fatal(err)
 		}

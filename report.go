@@ -56,6 +56,8 @@ type ReportPort struct {
 	LinePorts int    `json:"line_ports,omitempty"`
 	Selector  string `json:"selector,omitempty"`
 	Greedy    bool   `json:"greedy,omitempty"`
+	// Label distinguishes custom arbiters (see CustomPort).
+	Label string `json:"label,omitempty"`
 }
 
 // StallBucket is one named entry of the CPI stall stack.
@@ -126,6 +128,8 @@ func reportPort(p PortConfig) ReportPort {
 	case MultiPortedBanks:
 		rp.Banks = p.Banks
 		rp.Width = p.Width
+	case customPortKind:
+		rp.Label = p.Label
 	}
 	return rp
 }

@@ -39,7 +39,7 @@ func TestSimulateRecoversArbiterPanic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	port := lbic.CustomPort(func(int) (lbic.Arbiter, error) { return panicArbiter{}, nil })
+	port := lbic.CustomPort("panic", func(int) (lbic.Arbiter, error) { return panicArbiter{}, nil })
 	_, err = lbic.Simulate(prog, smallCfg(port))
 	if err == nil {
 		t.Fatal("Simulate returned nil error for a panicking arbiter")
@@ -57,7 +57,7 @@ func TestSimulateReportsHangWithWatchdog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	port := lbic.CustomPort(func(int) (lbic.Arbiter, error) { return stuckArbiter{}, nil })
+	port := lbic.CustomPort("stuck", func(int) (lbic.Arbiter, error) { return stuckArbiter{}, nil })
 	cfg := smallCfg(port)
 	cpuCfg := lbic.DefaultCPUConfig()
 	cpuCfg.WatchdogCycles = 1000
@@ -76,7 +76,7 @@ func TestSimulateContextDeadline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	port := lbic.CustomPort(func(int) (lbic.Arbiter, error) { return stuckArbiter{}, nil })
+	port := lbic.CustomPort("stuck", func(int) (lbic.Arbiter, error) { return stuckArbiter{}, nil })
 	cfg := smallCfg(port)
 	cpuCfg := lbic.DefaultCPUConfig()
 	cpuCfg.WatchdogCycles = -1 // watchdog off: the deadline is the only exit

@@ -106,7 +106,7 @@ func (neverGrant) PeakWidth() int                               { return 1 }
 func (neverGrant) Grant(_ uint64, _ []Request, dst []int) []int { return dst }
 
 func TestScenarioStarvationLimit(t *testing.T) {
-	port := CustomPort(func(int) (Arbiter, error) { return neverGrant{}, nil })
+	port := CustomPort("never", func(int) (Arbiter, error) { return neverGrant{}, nil })
 	refs := []Ref{{Addr: 0}, {Addr: 8}, {Addr: 16}, {Addr: 24}}
 	_, err := ScenarioCycles(port, refs)
 	if err == nil {

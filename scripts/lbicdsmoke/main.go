@@ -1,0 +1,102 @@
+// Command lbicdsmoke is the CI smoke test for lbicd: against a running
+// server it requests one simulation through the client package, runs the
+// same configuration directly in-process, and fails unless the served
+// report is byte-identical to the direct one. A second identical request
+// must then be served from the result cache (no new cell execution).
+//
+//	lbicd -addr 127.0.0.1:8329 &
+//	lbicdsmoke -addr http://127.0.0.1:8329
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"lbic"
+	"lbic/client"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "http://127.0.0.1:8329", "lbicd base URL")
+		bench = flag.String("bench", "compress", "benchmark to request")
+		port  = flag.String("port", "lbic-4x2", "port organization name")
+		insts = flag.Uint64("insts", 100_000, "instruction budget")
+		wait  = flag.Duration("wait", 15*time.Second, "how long to wait for the server to come up")
+	)
+	flag.Parse()
+	ctx := context.Background()
+	c := client.New(*addr)
+
+	deadline := time.Now().Add(*wait)
+	for {
+		if err := c.Healthz(ctx); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			log.Fatalf("lbicdsmoke: server at %s not healthy within %v: %v", *addr, *wait, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	req := client.SimulateRequest{Benchmark: *bench, Port: client.Port(*port), Insts: *insts}
+	served, err := c.Simulate(ctx, req)
+	if err != nil {
+		log.Fatalf("lbicdsmoke: /v1/simulate: %v", err)
+	}
+
+	prog, err := lbic.BuildBenchmark(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := lbic.DefaultConfig()
+	cfg.Port, err = lbic.ParsePortName(*port)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.MaxInsts = *insts
+	res, err := lbic.Simulate(prog, cfg)
+	if err != nil {
+		log.Fatalf("lbicdsmoke: direct Simulate: %v", err)
+	}
+	var direct bytes.Buffer
+	if err := lbic.NewReport(res).WriteJSON(&direct); err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(served, direct.Bytes()) {
+		os.Stderr.WriteString("--- served ---\n")
+		os.Stderr.Write(served)
+		os.Stderr.WriteString("--- direct ---\n")
+		os.Stderr.Write(direct.Bytes())
+		log.Fatalf("lbicdsmoke: served report (%d bytes) differs from direct report (%d bytes)",
+			len(served), direct.Len())
+	}
+
+	before, err := c.Metrics(ctx)
+	if err != nil {
+		log.Fatalf("lbicdsmoke: /metrics: %v", err)
+	}
+	again, err := c.Simulate(ctx, req)
+	if err != nil {
+		log.Fatalf("lbicdsmoke: repeat /v1/simulate: %v", err)
+	}
+	if !bytes.Equal(again, served) {
+		log.Fatalf("lbicdsmoke: repeated request returned different bytes")
+	}
+	after, err := c.Metrics(ctx)
+	if err != nil {
+		log.Fatalf("lbicdsmoke: /metrics: %v", err)
+	}
+	cellsBefore, _ := client.CounterValue(before, "server.cells_executed")
+	cellsAfter, _ := client.CounterValue(after, "server.cells_executed")
+	if cellsAfter != cellsBefore {
+		log.Fatalf("lbicdsmoke: repeat request executed %d new cells (want cache hit)", cellsAfter-cellsBefore)
+	}
+	hits, _ := client.CounterValue(after, "resultcache.hits")
+	fmt.Printf("lbicdsmoke: ok (%d report bytes byte-identical; repeat served from cache, %d result-cache hits)\n",
+		len(served), hits)
+}

@@ -1,0 +1,224 @@
+package lbic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lbic/internal/ports"
+)
+
+// This file is the one serialization the CLI (`lbicsim -config`), the lbicd
+// service schema (`lbic-sim-request/v1`), and sweep journals share:
+// PortKind and BankSelectorKind marshal as their canonical name tokens,
+// PortConfig/Config carry JSON tags and Validate methods, and ParsePortName
+// inverts PortConfig.Key for the compact one-line form.
+
+// portKindNames maps each kind to its canonical serialization token (the
+// prefix of PortConfig.Name).
+var portKindNames = map[PortKind]string{
+	Ideal:            "true",
+	Replicated:       "repl",
+	Banked:           "bank",
+	LBIC:             "lbic",
+	VirtualMultiport: "virt",
+	BankedStoreQueue: "banksq",
+	MultiPortedBanks: "mpb",
+}
+
+// MarshalText encodes the kind as its canonical name token ("true", "repl",
+// "bank", "lbic", "virt", "banksq", "mpb"). Custom kinds fail: a custom
+// port's factory is a function and cannot cross a serialization boundary.
+func (k PortKind) MarshalText() ([]byte, error) {
+	if name, ok := portKindNames[k]; ok {
+		return []byte(name), nil
+	}
+	if k == customPortKind {
+		return nil, fmt.Errorf("lbic: custom ports do not serialize (the arbiter factory is a function)")
+	}
+	return nil, fmt.Errorf("lbic: unknown port kind %d", int(k))
+}
+
+// UnmarshalText is the inverse of MarshalText; "ideal" is accepted as an
+// alias for "true".
+func (k *PortKind) UnmarshalText(text []byte) error {
+	name := string(text)
+	if name == "ideal" {
+		*k = Ideal
+		return nil
+	}
+	for kind, n := range portKindNames {
+		if n == name {
+			*k = kind
+			return nil
+		}
+	}
+	if name == "custom" {
+		return fmt.Errorf("lbic: custom ports do not deserialize (the arbiter factory is a function)")
+	}
+	return fmt.Errorf("lbic: unknown port kind %q (have true, repl, bank, lbic, virt, banksq, mpb)", name)
+}
+
+// ParsePortName parses the compact one-line port serialization produced by
+// PortConfig.Key (and therefore also the Name form, which omits the
+// store-queue suffix): "true-4", "repl-2", "bank-8", "bank-8-xor-fold",
+// "banksq-8", "banksq-8-sq4", "lbic-4x2", "lbic-4x2-greedy", "virt-2",
+// "mpb-2x2", with an optional trailing "-sqD" store-queue depth override.
+// "ideal-N" is accepted as an alias for "true-N". Custom port names are not
+// parseable — the factory cannot be reconstructed from a string.
+func ParsePortName(name string) (PortConfig, error) {
+	orig := name
+	fail := func() (PortConfig, error) {
+		return PortConfig{}, fmt.Errorf("lbic: cannot parse port name %q (want e.g. true-4, repl-2, bank-8[-xor-fold], lbic-4x2[-greedy], virt-2, banksq-8, mpb-2x2, optionally -sqD)", orig)
+	}
+
+	var p PortConfig
+	// Peel a trailing "-sqD" store-queue depth override. The only kind token
+	// containing "sq" is "banksq", whose Key never has a bare "-sq" substring
+	// ("banksq-8" — the "sq" is not preceded by '-'), so this is unambiguous.
+	if i := strings.LastIndex(name, "-sq"); i >= 0 {
+		if d, err := strconv.Atoi(name[i+3:]); err == nil && d > 0 {
+			p.StoreQueueDepth = d
+			name = name[:i]
+		}
+	}
+
+	kindTok, rest, ok := strings.Cut(name, "-")
+	if !ok {
+		return fail()
+	}
+	if kindTok == "ideal" {
+		kindTok = "true"
+	}
+	if err := p.Kind.UnmarshalText([]byte(kindTok)); err != nil {
+		return fail()
+	}
+
+	switch p.Kind {
+	case Ideal, Replicated, VirtualMultiport:
+		w, err := strconv.Atoi(rest)
+		if err != nil {
+			return fail()
+		}
+		p.Width = w
+	case Banked:
+		// "8" or "8-xor-fold".
+		numTok, selTok, hasSel := strings.Cut(rest, "-")
+		b, err := strconv.Atoi(numTok)
+		if err != nil {
+			return fail()
+		}
+		p.Banks = b
+		if hasSel {
+			sel, err := ports.ParseSelectorKind(selTok)
+			if err != nil {
+				return fail()
+			}
+			p.Selector = sel
+		}
+	case BankedStoreQueue:
+		b, err := strconv.Atoi(rest)
+		if err != nil {
+			return fail()
+		}
+		p.Banks = b
+	case LBIC:
+		// "MxN" or "MxN-greedy".
+		dims, greedyTok, hasGreedy := strings.Cut(rest, "-")
+		if hasGreedy {
+			if greedyTok != "greedy" {
+				return fail()
+			}
+			p.Greedy = true
+		}
+		mTok, nTok, ok := strings.Cut(dims, "x")
+		if !ok {
+			return fail()
+		}
+		m, err1 := strconv.Atoi(mTok)
+		n, err2 := strconv.Atoi(nTok)
+		if err1 != nil || err2 != nil {
+			return fail()
+		}
+		p.Banks, p.LinePorts = m, n
+	case MultiPortedBanks:
+		mTok, wTok, ok := strings.Cut(rest, "x")
+		if !ok {
+			return fail()
+		}
+		m, err1 := strconv.Atoi(mTok)
+		w, err2 := strconv.Atoi(wTok)
+		if err1 != nil || err2 != nil {
+			return fail()
+		}
+		p.Banks, p.Width = m, w
+	default:
+		return fail()
+	}
+	if err := p.Validate(); err != nil {
+		return PortConfig{}, fmt.Errorf("lbic: port name %q: %w", orig, err)
+	}
+	return p, nil
+}
+
+// powerOfTwo reports whether n is a positive power of two.
+func powerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Validate checks the configuration's parameters against its kind's
+// structural rules, mirroring what the arbiter constructors enforce at
+// build time so a bad config fails fast at the serialization boundary.
+func (p PortConfig) Validate() error {
+	if p.StoreQueueDepth < 0 {
+		return fmt.Errorf("lbic: store queue depth %d is negative", p.StoreQueueDepth)
+	}
+	switch p.Kind {
+	case Ideal, Replicated, VirtualMultiport:
+		if p.Width < 1 {
+			return fmt.Errorf("lbic: %s port width %d < 1", p.Kind, p.Width)
+		}
+	case Banked, BankedStoreQueue:
+		if !powerOfTwo(p.Banks) {
+			return fmt.Errorf("lbic: %s bank count %d is not a positive power of two", p.Kind, p.Banks)
+		}
+	case LBIC:
+		if !powerOfTwo(p.Banks) {
+			return fmt.Errorf("lbic: LBIC bank count %d is not a positive power of two", p.Banks)
+		}
+		if p.LinePorts < 1 {
+			return fmt.Errorf("lbic: LBIC line ports %d < 1", p.LinePorts)
+		}
+	case MultiPortedBanks:
+		if !powerOfTwo(p.Banks) {
+			return fmt.Errorf("lbic: MPB bank count %d is not a positive power of two", p.Banks)
+		}
+		if p.Width < 1 {
+			return fmt.Errorf("lbic: MPB ports per bank %d < 1", p.Width)
+		}
+	case customPortKind:
+		if p.custom == nil {
+			return fmt.Errorf("lbic: custom port without a factory")
+		}
+	default:
+		return fmt.Errorf("lbic: unknown port kind %d", int(p.Kind))
+	}
+	return nil
+}
+
+// Validate checks the full simulation configuration: the port organization
+// plus any CPU and memory-hierarchy overrides.
+func (c Config) Validate() error {
+	if err := c.Port.Validate(); err != nil {
+		return err
+	}
+	if c.CPU != nil {
+		if err := c.CPU.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Mem != nil {
+		if err := c.Mem.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
