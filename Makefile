@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench bench-smoke lbicd-smoke tables figures ablations fuzz reproduce clean
+.PHONY: all build vet test test-short check bench bench-smoke bench-diff lbicd-smoke tables figures ablations fuzz reproduce clean
 
 all: build vet test
 
@@ -42,13 +42,26 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . ./internal/cpu/ ./internal/server/ \
 		| $(GO) run ./scripts/benchjson -o /dev/null
 
+# bench-diff is the perf regression gate: ns/op drift between the two most
+# recent checked-in benchmark snapshots past the threshold fails unless
+# BENCH_ALLOWLIST.json acknowledges it with a reason.
+BENCH_OLD ?= BENCH_PR4.json
+BENCH_NEW ?= BENCH_PR5.json
+bench-diff:
+	$(GO) run ./scripts/benchjson -diff $(BENCH_OLD) -against $(BENCH_NEW) \
+		-threshold 10 -allowlist BENCH_ALLOWLIST.json
+
 # lbicd-smoke starts a real lbicd, checks a served report is byte-identical
-# to the direct in-process run, and that a repeat request is a cache hit.
+# to the direct in-process run, that a repeat request is a cache hit, that a
+# traced sweep exports a valid span tree (written to TRACE_ARTIFACT for CI
+# upload), and that /metrics is valid Prometheus exposition with nonzero
+# request counters.
+TRACE_ARTIFACT ?= /tmp/lbicd-job-trace.jsonl
 lbicd-smoke:
 	$(GO) build -o /tmp/lbicd ./cmd/lbicd
 	/tmp/lbicd -addr 127.0.0.1:8329 & echo $$! > /tmp/lbicd.pid; \
 	trap 'kill $$(cat /tmp/lbicd.pid) 2>/dev/null' EXIT; \
-	$(GO) run ./scripts/lbicdsmoke -addr http://127.0.0.1:8329
+	$(GO) run ./scripts/lbicdsmoke -addr http://127.0.0.1:8329 -trace-artifact $(TRACE_ARTIFACT)
 
 tables:
 	$(GO) run ./cmd/lbictables -all

@@ -200,6 +200,85 @@ func (c *Client) Healthz(ctx context.Context) error {
 	return nil
 }
 
+// Health fetches the health endpoint's full body: status, uptime, and the
+// serving binary's build identity.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return Health{}, err
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return Health{}, fmt.Errorf("lbicd: decoding health: %w", err)
+	}
+	return h, nil
+}
+
+// JobTrace fetches a job's span tree (GET /v1/jobs/{id}/trace) as parsed
+// lbic-trace/v1 spans. Fetching while the job runs returns a consistent
+// snapshot with in-flight spans marked open.
+func (c *Client) JobTrace(ctx context.Context, id string) (lbic.TraceJSONLHeader, []lbic.TraceSpan, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return lbic.TraceJSONLHeader{}, nil, err
+	}
+	defer resp.Body.Close()
+	return lbic.ReadTraceJSONL(resp.Body)
+}
+
+// StreamSSE follows a job's progress stream in Server-Sent Events framing,
+// invoking fn for every event, like Stream does for JSONL. Use it when an
+// intermediary (or the caller) wants SSE semantics; the two streams carry
+// identical events.
+func (c *Client) StreamSSE(ctx context.Context, id string, fn func(StreamEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var er ErrorResponse
+		msg := strings.TrimSpace(string(raw))
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		// SSE framing: "event: t" names the next event, "data: {...}"
+		// carries it; comment and id fields are ignored. The server sends
+		// one data line per event, so dispatch on it directly.
+		data, ok := bytes.CutPrefix(line, []byte("data: "))
+		if !ok {
+			continue
+		}
+		var ev StreamEvent
+		if err := json.Unmarshal(data, &ev); err != nil {
+			return fmt.Errorf("lbicd: decoding SSE event: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+		if ev.Type == "done" {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("lbicd: SSE stream ended without a done event")
+}
+
 // Metrics fetches the server's metrics as a structured snapshot
 // (GET /metrics?format=json).
 func (c *Client) Metrics(ctx context.Context) (lbic.MetricsSnapshot, error) {

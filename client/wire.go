@@ -125,6 +125,9 @@ type CellResult struct {
 	Port      string `json:"port"`
 	// Cached reports that the cell was served from the result cache.
 	Cached bool `json:"cached,omitempty"`
+	// ElapsedNS is the wall-clock time the server spent producing this cell,
+	// including cache lookups and singleflight waits.
+	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
 	// Error is set when the cell failed; Report is empty then.
 	Error string `json:"error,omitempty"`
 	// Report is the cell's lbic-run-report/v1 document.
@@ -159,6 +162,22 @@ type StreamEvent struct {
 	Cell *CellResult `json:"cell,omitempty"`
 	// Status is set for "done" events (without the Results bulk).
 	Status *JobStatus `json:"status,omitempty"`
+}
+
+// Health is the body of GET /healthz: liveness plus enough build identity
+// to tell which binary answered.
+type Health struct {
+	Status string `json:"status"`
+	// UptimeSeconds is the time since the server process constructed its
+	// Server, in seconds.
+	UptimeSeconds float64 `json:"uptime_seconds,omitempty"`
+	// GoVersion, Module, Version, and Revision come from the binary's
+	// embedded build info (debug.ReadBuildInfo); Revision is the VCS commit
+	// when the binary was built from a checkout.
+	GoVersion string `json:"go_version,omitempty"`
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON error.

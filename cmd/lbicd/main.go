@@ -5,8 +5,13 @@
 //
 //	lbicd -addr :8329
 //	curl -s localhost:8329/healthz
+//	curl -s localhost:8329/metrics          # Prometheus text exposition
 //	curl -s -d '{"schema":"lbic-sim-request/v1","benchmark":"compress","port":"lbic-4x2","insts":100000}' \
 //	     localhost:8329/v1/simulate
+//
+// Logs are structured (log/slog, text format) on stderr; -log-json switches
+// to JSON. -debug-addr serves net/http/pprof on a separate listener so the
+// profiling surface is never exposed on the serving address.
 //
 // On SIGTERM or SIGINT the server drains gracefully: new requests are
 // rejected with 503 while in-flight requests and accepted jobs finish (up
@@ -17,10 +22,10 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,6 +37,9 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", ":8329", "listen address")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 		jobs         = flag.Int("jobs", 0, "max concurrently executing cells (0 = GOMAXPROCS)")
 		queueLimit   = flag.Int("queue", 1024, "max admitted-but-unfinished cells before 429 (-1 = unlimited)")
 		cellTimeout  = flag.Duration("cell-timeout", 5*time.Minute, "per-cell deadline (0 = none)")
@@ -41,6 +49,19 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful drain deadline on SIGTERM")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		slog.Error("bad -log-level", "value", *logLevel, "err", err)
+		os.Exit(2)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, hopts)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	}
+	log := slog.New(handler)
+	slog.SetDefault(log)
 
 	mb := func(v int64) int64 {
 		if v < 0 {
@@ -59,17 +80,36 @@ func main() {
 		Retries:          *retries,
 		TraceCacheBytes:  mb(*traceCacheMB),
 		ResultCacheBytes: mb(*resultMB),
+		Log:              log,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("lbicd: %v", err)
+		log.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
 	hs := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("lbicd: listening on %s", ln.Addr())
+	log.Info("listening", "addr", ln.Addr().String())
+
+	if *debugAddr != "" {
+		// The pprof import above registers on http.DefaultServeMux; serve
+		// only that mux, only here — never on the main listener.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Error("debug listen failed", "addr", *debugAddr, "err", err)
+			os.Exit(1)
+		}
+		log.Info("debug server listening (pprof)", "addr", dln.Addr().String())
+		go func() {
+			ds := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			if err := ds.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("debug server failed", "err", err)
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -78,25 +118,26 @@ func main() {
 	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
 	select {
 	case err := <-errc:
-		log.Fatalf("lbicd: %v", err)
+		log.Error("serve failed", "err", err)
+		os.Exit(1)
 	case s := <-sig:
-		log.Printf("lbicd: %v received, draining (in-flight jobs finish; again to abort)", s)
+		log.Info("draining (in-flight jobs finish; signal again to abort)", "signal", s.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	go func() {
 		<-sig
-		log.Printf("lbicd: second signal, aborting")
+		log.Warn("second signal, aborting")
 		cancel()
 	}()
 	if err := srv.Drain(ctx); err != nil {
-		log.Printf("lbicd: drain incomplete: %v", err)
+		log.Warn("drain incomplete", "err", err)
 	}
 	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer scancel()
 	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("lbicd: shutdown: %v", err)
+		log.Warn("shutdown", "err", err)
 	}
-	fmt.Println("lbicd: bye")
+	log.Info("bye")
 }

@@ -8,6 +8,7 @@
 //	lbicsim -bench compress -port banked -banks 4 -metrics
 //	lbicsim -bench compress -port lbic-4x2-greedy
 //	lbicsim -bench compress -config run.json
+//	lbicsim -bench compress -port lbic-4x2 -trace-out trace.json   # chrome://tracing
 //	lbicsim -list
 package main
 
@@ -41,6 +42,7 @@ func main() {
 		showMetric = flag.Bool("metrics", false, "print histogram and gauge tables (CPI stack, per-bank conflicts, ...)")
 		jsonOut    = flag.String("json", "", "write the machine-readable run report to this file (- for stdout)")
 		eventsOut  = flag.String("events", "", "write the structured JSONL event trace to this file (- for stdout)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file of the run's spans to this file (load in chrome://tracing)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
 	)
@@ -125,7 +127,22 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var spanTrace *lbic.RequestTrace
+	if *traceOut != "" {
+		spanTrace = lbic.NewRequestTrace()
+		ctx = lbic.WithTrace(ctx, spanTrace)
+	}
 	res, err := lbic.SimulateContext(ctx, prog, cfg)
+	if spanTrace != nil {
+		f, closeFn, ferr := create(*traceOut)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if werr := lbic.WriteChromeTrace(f, prog.Name, spanTrace.Snapshot()); werr != nil {
+			fatal(werr)
+		}
+		closeFn()
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -57,6 +57,7 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile on exit to this file")
 		noTrace    = flag.Bool("no-trace-cache", false, "re-execute the emulator for every cell instead of replaying recorded traces")
 		traceMB    = flag.Int("trace-cache-mb", 256, "trace cache memory budget in MiB")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file of every sweep cell's spans to this file (load in chrome://tracing)")
 	)
 	flag.Parse()
 
@@ -105,6 +106,19 @@ func main() {
 	sw.KeepGoing = *keepGoing
 	sw.InjectPanic = splitList(*injPanic)
 	sw.InjectHang = splitList(*injHang)
+	if *traceOut != "" {
+		sw.Spans = lbic.NewRequestTrace()
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if err := lbic.WriteChromeTrace(f, "lbictables", sw.Spans.Snapshot()); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 	if !*quiet {
 		sw.OnCell = func(key string, err error) {
 			if err != nil {

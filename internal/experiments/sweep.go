@@ -42,6 +42,11 @@ type Sweep struct {
 	// without it (cell keys deliberately ignore it), so journals stay
 	// compatible either way.
 	Trace *lbic.TraceCache
+	// Spans, when non-nil, records every cell of this sweep as spans on the
+	// trace (cell attempts, retries, deadline slack from the runner; cycles
+	// and trace-cache attribution from the simulator). Export the tree with
+	// lbic.WriteChromeTrace or lbic.WriteTraceJSONL.
+	Spans *lbic.RequestTrace
 	// Stop requests graceful shutdown: in-flight cells finish, the rest are
 	// skipped.
 	Stop <-chan struct{}
@@ -130,10 +135,14 @@ func (sw *Sweep) Failures() []CellError {
 }
 
 func (sw *Sweep) context() context.Context {
-	if sw.Ctx != nil {
-		return sw.Ctx
+	ctx := sw.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return context.Background()
+	if sw.Spans != nil {
+		ctx = lbic.WithTrace(ctx, sw.Spans)
+	}
+	return ctx
 }
 
 func (sw *Sweep) options() runner.Options {

@@ -159,3 +159,45 @@ func TestSweepDeterministicAcrossJobs(t *testing.T) {
 		t.Errorf("serial and jobs=8 output differ:\n--- serial ---\n%s\n--- jobs=8 ---\n%s", serial, parallel)
 	}
 }
+
+// A sweep with Spans set must record every cell and its simulate child as a
+// validated span tree, including on faulted cells.
+func TestSweepSpansRecorded(t *testing.T) {
+	sw := NewSweep(5_000)
+	sw.Jobs = 2
+	sw.KeepGoing = true
+	sw.Timeout = 500 * time.Millisecond
+	sw.InjectPanic = []string{"pat:unit-stride/true-1"}
+	sw.Spans = lbic.NewRequestTrace()
+
+	if _, err := testGrid(sw); err != nil {
+		t.Fatal(err)
+	}
+	spans := sw.Spans.Snapshot()
+	if _, err := lbic.ValidateTraceTree(spans, false); err != nil {
+		t.Fatalf("span tree invalid: %v", err)
+	}
+	var cells, sims int
+	for _, sp := range spans {
+		if sp.Open {
+			t.Errorf("span %q left open after the sweep", sp.Name)
+		}
+		switch {
+		case strings.HasPrefix(sp.Name, "cell "):
+			cells++
+			if strings.Contains(sp.Name, "pat:unit-stride/true-1") && sp.Attrs["error"] == nil {
+				t.Errorf("injected-panic cell span missing error attr: %v", sp.Attrs)
+			}
+		case strings.HasPrefix(sp.Name, "simulate "):
+			sims++
+			if sp.Attrs["cycles"] == nil {
+				t.Errorf("simulate span %q missing cycles attr: %v", sp.Name, sp.Attrs)
+			}
+		}
+	}
+	// Four cells in the grid; the panicking cell (with one retry) never
+	// reaches SimulateContext, so it contributes no simulate span.
+	if cells != 4 || sims != 3 {
+		t.Errorf("spans = %d cells, %d sims; want 4 and 3", cells, sims)
+	}
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBounds are the upper bounds (seconds) of the default
+// latency buckets: roughly exponential from 100µs to a minute, matching the
+// range from a warm result-cache hit to a cold million-instruction cell.
+var DefaultLatencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// LatencyHistogram is a concurrency-safe duration histogram with
+// Prometheus-style cumulative export: bucket i counts observations at or
+// under Bounds[i], with one extra +Inf bucket. Unlike Histogram (a
+// single-goroutine integer distribution owned by the simulator's hot
+// layers), this type is written from concurrent HTTP handlers and sweep
+// cells, so every update is a single atomic add.
+type LatencyHistogram struct {
+	Name string
+	Help string
+	// Labels is an optional pre-rendered Prometheus label set (for example
+	// `route="simulate"`), rendered inside {} in the exposition; histograms
+	// sharing a Name but differing in Labels export as one metric family.
+	Labels string
+
+	bounds []float64
+	// counts[i] counts observations in (bounds[i-1], bounds[i]];
+	// counts[len(bounds)] is the +Inf bucket.
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sumNS  atomic.Int64
+}
+
+// NewLatencyHistogram returns a latency histogram over the given bucket
+// upper bounds (nil selects DefaultLatencyBounds). Bounds must be sorted
+// ascending.
+func NewLatencyHistogram(name, help, labels string, bounds []float64) *LatencyHistogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	return &LatencyHistogram{
+		Name:   name,
+		Help:   help,
+		Labels: labels,
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration. Safe for concurrent use.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+}
+
+// Count returns the total number of observations.
+func (h *LatencyHistogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed durations in seconds.
+func (h *LatencyHistogram) Sum() float64 { return float64(h.sumNS.Load()) / 1e9 }
+
+// Bounds returns the bucket upper bounds (callers must not modify).
+func (h *LatencyHistogram) Bounds() []float64 { return h.bounds }
+
+// Cumulative returns the cumulative bucket counts: element i is the number
+// of observations at or under Bounds[i], and the final element (the +Inf
+// bucket) equals Count. The slice is a fresh snapshot.
+func (h *LatencyHistogram) Cumulative() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in seconds by linear
+// interpolation within the bucket containing it; observations past the last
+// bound report the last bound. Returns 0 with no observations.
+func (h *LatencyHistogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := lo
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// LatencySnapshot is a latency histogram's exportable state.
+type LatencySnapshot struct {
+	Name   string `json:"name"`
+	Help   string `json:"help,omitempty"`
+	Labels string `json:"labels,omitempty"`
+	// Bounds are the bucket upper bounds in seconds; Cumulative[i] counts
+	// observations at or under Bounds[i], with a final +Inf element.
+	Bounds     []float64 `json:"bounds"`
+	Cumulative []uint64  `json:"cumulative"`
+	Count      uint64    `json:"count"`
+	SumSeconds float64   `json:"sum_seconds"`
+	P50        float64   `json:"p50"`
+	P95        float64   `json:"p95"`
+	P99        float64   `json:"p99"`
+}
+
+// snapshot captures the histogram. Count is taken from the cumulative +Inf
+// bucket, not the separate counter, so a snapshot racing concurrent
+// observations stays internally consistent (count == last bucket).
+func (h *LatencyHistogram) snapshot() LatencySnapshot {
+	cum := h.Cumulative()
+	return LatencySnapshot{
+		Name:       h.Name,
+		Help:       h.Help,
+		Labels:     h.Labels,
+		Bounds:     h.bounds,
+		Cumulative: cum,
+		Count:      cum[len(cum)-1],
+		SumSeconds: h.Sum(),
+		P50:        h.Quantile(0.50),
+		P95:        h.Quantile(0.95),
+		P99:        h.Quantile(0.99),
+	}
+}

@@ -146,6 +146,7 @@ type Registry struct {
 	counters   []*Counter
 	histograms []*Histogram
 	gauges     []*Gauge
+	latencies  []*LatencyHistogram
 }
 
 // NewRegistry returns an empty registry.
@@ -179,6 +180,17 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	g := NewGauge(name, help)
 	r.AddGauge(g)
 	return g
+}
+
+// AddLatency adopts existing latency histograms.
+func (r *Registry) AddLatency(hs ...*LatencyHistogram) { r.latencies = append(r.latencies, hs...) }
+
+// Latency creates and registers a latency histogram (nil bounds selects
+// DefaultLatencyBounds).
+func (r *Registry) Latency(name, help, labels string, bounds []float64) *LatencyHistogram {
+	h := NewLatencyHistogram(name, help, labels, bounds)
+	r.AddLatency(h)
+	return h
 }
 
 // FindHistogram returns the registered histogram with the given name, or nil.
@@ -224,6 +236,7 @@ type Snapshot struct {
 	Counters   []CounterSnapshot   `json:"counters,omitempty"`
 	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
 	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
+	Latencies  []LatencySnapshot   `json:"latencies,omitempty"`
 }
 
 // Snapshot captures the registry's current state. Bucket slices are copied,
@@ -249,6 +262,9 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges = append(s.Gauges, GaugeSnapshot{
 			Name: g.Name, Help: g.Help, Samples: g.samples, Mean: g.Mean(), Max: g.max,
 		})
+	}
+	for _, h := range r.latencies {
+		s.Latencies = append(s.Latencies, h.snapshot())
 	}
 	return s
 }

@@ -1,0 +1,406 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ExpositionContentType is the Content-Type of the Prometheus text
+// exposition format this package writes.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a registry metric name into a valid Prometheus metric
+// name: dots (the registry's namespace separator) and any other illegal
+// runes become underscores.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// promFloat formats a sample value.
+func promFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promWriter accumulates exposition lines, emitting each family's HELP and
+// TYPE header exactly once even when several registered objects (for
+// example per-route latency histograms) share a family name.
+type promWriter struct {
+	w      *bufio.Writer
+	headed map[string]bool
+	err    error
+}
+
+func (p *promWriter) header(name, help, typ string) {
+	if p.headed[name] {
+		return
+	}
+	p.headed[name] = true
+	if help != "" {
+		p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	}
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// sample writes one sample line; labels is the pre-rendered inner label
+// text ("" for none).
+func (p *promWriter) sample(name, labels, value string) {
+	if labels == "" {
+		p.printf("%s %s\n", name, value)
+		return
+	}
+	p.printf("%s{%s} %s\n", name, labels, value)
+}
+
+// joinLabels merges two pre-rendered label fragments.
+func joinLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	default:
+		return a + "," + b
+	}
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4):
+//
+//   - Counters export as "<name>_total".
+//   - Gauges (per-cycle occupancy samplers) export as two gauge families,
+//     "<name>_mean" and "<name>_max".
+//   - Integer Histograms export as cumulative histograms whose le bounds
+//     are the integer bucket values (the last, absorbing bucket becomes
+//     +Inf).
+//   - LatencyHistograms export as cumulative histograms in seconds, with
+//     any registered label set merged into each sample; histograms sharing
+//     a name form one family with one HELP/TYPE header.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	p := &promWriter{w: bufio.NewWriter(w), headed: make(map[string]bool)}
+	for _, c := range r.counters {
+		name := promName(c.Name) + "_total"
+		p.header(name, c.Help, "counter")
+		p.sample(name, "", strconv.FormatUint(c.Value(), 10))
+	}
+	for _, g := range r.gauges {
+		mean := promName(g.Name) + "_mean"
+		p.header(mean, g.Help+" (mean per-cycle level)", "gauge")
+		p.sample(mean, "", promFloat(g.Mean()))
+		max := promName(g.Name) + "_max"
+		p.header(max, g.Help+" (peak per-cycle level)", "gauge")
+		p.sample(max, "", strconv.FormatUint(g.Max(), 10))
+	}
+	for _, h := range r.histograms {
+		name := promName(h.Name)
+		p.header(name, h.Help, "histogram")
+		var cum uint64
+		buckets := h.Buckets()
+		for i, c := range buckets {
+			cum += c
+			le := promFloat(float64(i))
+			if i == len(buckets)-1 {
+				le = "+Inf"
+			}
+			p.sample(name+"_bucket", `le="`+le+`"`, strconv.FormatUint(cum, 10))
+		}
+		p.sample(name+"_sum", "", strconv.FormatUint(h.Sum(), 10))
+		p.sample(name+"_count", "", strconv.FormatUint(cum, 10))
+	}
+	for _, h := range r.latencies {
+		name := promName(h.Name)
+		p.header(name, h.Help, "histogram")
+		cum := h.Cumulative()
+		for i, c := range cum {
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = promFloat(h.bounds[i])
+			}
+			p.sample(name+"_bucket", joinLabels(h.Labels, `le="`+le+`"`), strconv.FormatUint(c, 10))
+		}
+		p.sample(name+"_sum", h.Labels, promFloat(h.Sum()))
+		p.sample(name+"_count", h.Labels, strconv.FormatUint(cum[len(cum)-1], 10))
+	}
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}
+
+// ValidateExposition parses r as Prometheus text exposition format and
+// checks the invariants a scraper relies on: every line parses, each
+// histogram family's buckets are cumulative (non-decreasing in le order),
+// every bucket series ends at le="+Inf", and each series' _count equals its
+// +Inf bucket. It returns the number of sample lines on success.
+func ValidateExposition(r io.Reader) (samples int, err error) {
+	type series struct {
+		// le -> cumulative value, in encounter order.
+		les    []float64
+		counts []float64
+		count  *float64
+	}
+	histograms := map[string]*series{} // family + labels(without le)
+	typeOf := map[string]string{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 3 && (f[1] == "TYPE" || f[1] == "HELP") {
+				if !validPromName(f[2]) {
+					return samples, fmt.Errorf("line %d: invalid metric name %q in %s", lineNo, f[2], f[1])
+				}
+				if f[1] == "TYPE" {
+					if len(f) != 4 {
+						return samples, fmt.Errorf("line %d: TYPE wants exactly a name and a type", lineNo)
+					}
+					switch f[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return samples, fmt.Errorf("line %d: unknown metric type %q", lineNo, f[3])
+					}
+					if _, dup := typeOf[f[2]]; dup {
+						return samples, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, f[2])
+					}
+					typeOf[f[2]] = f[3]
+				}
+			}
+			continue
+		}
+		name, labels, value, perr := parseSample(line)
+		if perr != nil {
+			return samples, fmt.Errorf("line %d: %v", lineNo, perr)
+		}
+		samples++
+
+		// Histogram bookkeeping: group by family identity.
+		family, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, s); ok && typeOf[base] == "histogram" {
+				family, suffix = base, s
+				break
+			}
+		}
+		if suffix == "" {
+			continue
+		}
+		le, rest := splitLE(labels)
+		key := family + "{" + rest + "}"
+		s := histograms[key]
+		if s == nil {
+			s = &series{}
+			histograms[key] = s
+		}
+		switch suffix {
+		case "_bucket":
+			if le == "" {
+				return samples, fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			bound := math.Inf(+1)
+			if le != "+Inf" {
+				bound, perr = strconv.ParseFloat(le, 64)
+				if perr != nil {
+					return samples, fmt.Errorf("line %d: bad le %q: %v", lineNo, le, perr)
+				}
+			}
+			s.les = append(s.les, bound)
+			s.counts = append(s.counts, value)
+		case "_count":
+			v := value
+			s.count = &v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("no samples in exposition")
+	}
+	for key, s := range histograms {
+		if len(s.les) == 0 {
+			continue
+		}
+		if !sort.Float64sAreSorted(s.les) {
+			return samples, fmt.Errorf("%s: buckets not in ascending le order", key)
+		}
+		for i := 1; i < len(s.counts); i++ {
+			if s.counts[i] < s.counts[i-1] {
+				return samples, fmt.Errorf("%s: bucket counts not cumulative (le=%v: %v < %v)",
+					key, s.les[i], s.counts[i], s.counts[i-1])
+			}
+		}
+		last := s.les[len(s.les)-1]
+		if !math.IsInf(last, +1) {
+			return samples, fmt.Errorf("%s: bucket series does not end at le=\"+Inf\"", key)
+		}
+		if s.count != nil && *s.count != s.counts[len(s.counts)-1] {
+			return samples, fmt.Errorf("%s: _count %v != +Inf bucket %v", key, *s.count, s.counts[len(s.counts)-1])
+		}
+	}
+	return samples, nil
+}
+
+// validPromName reports whether s is a legal Prometheus metric name.
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample parses one `name{labels} value [timestamp]` line.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	if !validPromName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		// The closing brace must be found outside quotes: label values may
+		// contain '}' (e.g. route="GET /v1/jobs/{id}").
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch rest[j] {
+			case '\\':
+				if inQuote {
+					j++
+				}
+			case '"':
+				inQuote = !inQuote
+			case '}':
+				if !inQuote {
+					end = j
+				}
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = rest[1:end]
+		if err := validateLabels(labels); err != nil {
+			return "", "", 0, err
+		}
+		rest = rest[end+1:]
+	}
+	f := strings.Fields(rest)
+	if len(f) < 1 || len(f) > 2 {
+		return "", "", 0, fmt.Errorf("malformed sample value in %q", line)
+	}
+	value, err = strconv.ParseFloat(f[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad sample value %q: %v", f[0], err)
+	}
+	if len(f) == 2 {
+		if _, err := strconv.ParseInt(f[1], 10, 64); err != nil {
+			return "", "", 0, fmt.Errorf("bad timestamp %q", f[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// validateLabels checks a {..}-inner label fragment: comma-separated
+// key="value" pairs with quoted values.
+func validateLabels(labels string) error {
+	for _, pair := range splitLabelPairs(labels) {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || !validPromName(k) {
+			return fmt.Errorf("malformed label pair %q", pair)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("unquoted label value in %q", pair)
+		}
+	}
+	return nil
+}
+
+// splitLabelPairs splits on commas outside quotes.
+func splitLabelPairs(labels string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '"':
+			if i == 0 || labels[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(labels) {
+		out = append(out, labels[start:])
+	}
+	return out
+}
+
+// splitLE extracts the le label from a rendered label fragment, returning
+// the le value and the remaining labels (series identity).
+func splitLE(labels string) (le, rest string) {
+	var keep []string
+	for _, pair := range splitLabelPairs(labels) {
+		if v, ok := strings.CutPrefix(pair, "le="); ok {
+			le = strings.Trim(v, `"`)
+			continue
+		}
+		keep = append(keep, pair)
+	}
+	return le, strings.Join(keep, ",")
+}

@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// promRegistry builds a registry with one of everything, deterministically
+// populated, for the golden exposition test.
+func promRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("server.requests", "HTTP requests accepted.")
+	c.Add(42)
+	g := r.Gauge("core.ruu_occupancy", "RUU entries in use")
+	g.Sample(3)
+	g.Sample(5)
+	h := r.Histogram("ports.grants", "Port grants per cycle.", "grants", 4)
+	h.ObserveN(0, 10)
+	h.ObserveN(1, 5)
+	h.ObserveN(3, 2)
+	lat := r.Latency("http_request_duration_seconds", "HTTP request latency.",
+		`route="simulate"`, []float64{0.001, 0.01, 0.1, 1})
+	lat.Observe(500 * time.Microsecond)
+	lat.Observe(5 * time.Millisecond)
+	lat.Observe(2 * time.Second)
+	// A second histogram in the same family: HELP/TYPE must print once.
+	lat2 := r.Latency("http_request_duration_seconds", "HTTP request latency.",
+		`route="sweep"`, []float64{0.001, 0.01, 0.1, 1})
+	lat2.Observe(20 * time.Millisecond)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+	if n, err := ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("golden exposition fails validation: %v", err)
+	} else if n == 0 {
+		t.Error("no samples validated")
+	}
+}
+
+// TestPrometheusNameSanitization pins the registry-name to metric-name
+// mapping: dots become underscores and the counter suffix applies.
+func TestPrometheusNameSanitization(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server.cells-executed", "x").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "server_cells_executed_total 1") {
+		t.Errorf("sanitized counter missing:\n%s", out)
+	}
+	if strings.Contains(out, "server.cells") {
+		t.Errorf("raw dotted name leaked:\n%s", out)
+	}
+}
+
+// TestHistogramBucketMonotonicity is the property test: any pattern of
+// concurrent observations must yield cumulative buckets that are
+// non-decreasing, end at a +Inf bucket equal to _count, and survive
+// ValidateExposition.
+func TestHistogramBucketMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		h := NewLatencyHistogram("trial_seconds", "property trial", "", nil)
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			seed := rng.Int63()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				local := rand.New(rand.NewSource(seed))
+				for i := 0; i < 200; i++ {
+					// Span the full bucket range, microseconds to minutes.
+					d := time.Duration(local.Int63n(int64(90 * time.Second)))
+					h.Observe(d)
+				}
+			}()
+		}
+		wg.Wait()
+
+		cum := h.Cumulative()
+		if len(cum) != len(h.Bounds())+1 {
+			t.Fatalf("trial %d: %d cumulative buckets for %d bounds", trial, len(cum), len(h.Bounds()))
+		}
+		for i := 1; i < len(cum); i++ {
+			if cum[i] < cum[i-1] {
+				t.Fatalf("trial %d: bucket %d not cumulative: %d < %d", trial, i, cum[i], cum[i-1])
+			}
+		}
+		if got, want := cum[len(cum)-1], uint64(800); got != want {
+			t.Fatalf("trial %d: +Inf bucket = %d, want %d", trial, got, want)
+		}
+		if h.Count() != 800 {
+			t.Fatalf("trial %d: count = %d", trial, h.Count())
+		}
+
+		r := NewRegistry()
+		r.AddLatency(h)
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+	}
+}
+
+func TestLatencyQuantiles(t *testing.T) {
+	h := NewLatencyHistogram("q", "", "", []float64{0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(5 * time.Millisecond) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500 * time.Millisecond) // third bucket
+	}
+	if p50 := h.Quantile(0.50); p50 <= 0 || p50 > 0.01 {
+		t.Errorf("p50 = %v, want within first bucket (0, 0.01]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 <= 0.1 || p99 > 1 {
+		t.Errorf("p99 = %v, want within (0.1, 1]", p99)
+	}
+	if z := NewLatencyHistogram("z", "", "", nil).Quantile(0.5); z != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", z)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"bad name":         "9bad 1\n",
+		"bad value":        "x nope\n",
+		"bad type":         "# TYPE x widget\nx 1\n",
+		"unterminated":     "x{a=\"1\" 2\n",
+		"non-cumulative":   "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n",
+		"missing inf":      "# TYPE h histogram\nh_bucket{le=\"1\"} 5\n",
+		"count mismatch":   "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 4\n",
+		"unsorted buckets": "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\n",
+	}
+	for name, in := range cases {
+		if _, err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+	// Distinct label sets are distinct series; both must hold independently.
+	ok := "# TYPE h histogram\n" +
+		"h_bucket{route=\"a\",le=\"1\"} 2\nh_bucket{route=\"a\",le=\"+Inf\"} 3\nh_count{route=\"a\"} 3\n" +
+		"h_bucket{route=\"b\",le=\"1\"} 7\nh_bucket{route=\"b\",le=\"+Inf\"} 7\nh_count{route=\"b\"} 7\n"
+	if _, err := ValidateExposition(strings.NewReader(ok)); err != nil {
+		t.Errorf("labeled series: %v", err)
+	}
+}
+
+// TestSnapshotIncludesLatencies pins the JSON side: latency histograms ride
+// in the registry snapshot with consistent count/cumulative.
+func TestSnapshotIncludesLatencies(t *testing.T) {
+	r := NewRegistry()
+	h := r.Latency("x_seconds", "help", "", []float64{0.1, 1})
+	h.Observe(50 * time.Millisecond)
+	h.Observe(5 * time.Second)
+	s := r.Snapshot()
+	if len(s.Latencies) != 1 {
+		t.Fatalf("latencies in snapshot = %d", len(s.Latencies))
+	}
+	ls := s.Latencies[0]
+	if ls.Count != 2 || ls.Cumulative[len(ls.Cumulative)-1] != ls.Count {
+		t.Errorf("snapshot count %d inconsistent with cumulative %v", ls.Count, ls.Cumulative)
+	}
+	if ls.SumSeconds < 5.0 || ls.SumSeconds > 5.1 {
+		t.Errorf("sum = %v", ls.SumSeconds)
+	}
+}

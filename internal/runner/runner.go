@@ -15,6 +15,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"lbic/internal/tracing"
 )
 
 // Cell is one independent unit of sweep work.
@@ -227,7 +229,15 @@ func Run[T any](ctx context.Context, cells []Cell[T], opts Options) (Outcome[T],
 }
 
 // runCell serves one cell from the journal or executes it with retries.
+//
+// When ctx carries a trace, the cell contributes a "cell <key>" span
+// covering journal lookup through final attempt. Only this goroutine
+// annotates or ends the span — the attempt goroutine (which may outlive an
+// abandoned cell) opens its own child spans instead — so a span is closed
+// exactly once even across panics, deadlines, and abandonment.
 func runCell[T any](ctx context.Context, c Cell[T], opts Options) Result[T] {
+	ctx, span := tracing.Start(ctx, "cell "+c.Key)
+	defer span.End()
 	res := Result[T]{Key: c.Key}
 	if opts.Journal != nil {
 		if raw, ok := opts.Journal.Lookup(c.Key); ok {
@@ -236,6 +246,7 @@ func runCell[T any](ctx context.Context, c Cell[T], opts Options) Result[T] {
 			var v T
 			if err := json.Unmarshal(raw, &v); err == nil {
 				res.Value, res.Cached = v, true
+				span.SetAttr("journal_cached", true)
 				return res
 			}
 		}
@@ -248,8 +259,13 @@ func runCell[T any](ctx context.Context, c Cell[T], opts Options) Result[T] {
 		if err == nil || attempt > opts.Retries || !retriable(err) {
 			break
 		}
+		span.Event("retry")
 	}
 	res.Elapsed = time.Since(start)
+	span.SetAttr("attempts", res.Attempts)
+	if res.Err != nil {
+		span.SetAttr("error", res.Err.Error())
+	}
 	if res.Err == nil && opts.Journal != nil {
 		// Journal write failures are reported at Close, not charged to the
 		// cell: the value itself is good.
@@ -293,8 +309,19 @@ func runOnce[T any](ctx context.Context, c Cell[T], timeout time.Duration) (T, e
 		ch <- attempt{v, err}
 	}()
 
+	// recordSlack notes how much of the per-cell deadline was left when the
+	// attempt settled — the margin before the next tuning of Timeout starts
+	// killing healthy cells. The span is owned by this (runCell's) goroutine.
+	recordSlack := func() {
+		if timeout > 0 {
+			if dl, ok := cctx.Deadline(); ok {
+				tracing.SpanFromContext(ctx).SetAttr("deadline_slack_ns", time.Until(dl).Nanoseconds())
+			}
+		}
+	}
 	select {
 	case a := <-ch:
+		recordSlack()
 		return a.v, a.err
 	case <-cctx.Done():
 	}
@@ -302,8 +329,10 @@ func runOnce[T any](ctx context.Context, c Cell[T], timeout time.Duration) (T, e
 	// (and accept a success that races the deadline), then abandon it.
 	select {
 	case a := <-ch:
+		recordSlack()
 		return a.v, a.err
 	case <-time.After(abandonGrace):
+		tracing.SpanFromContext(ctx).Event("abandoned")
 		var zero T
 		return zero, fmt.Errorf("runner: cell %q abandoned (did not stop within %v of cancellation): %w",
 			c.Key, abandonGrace, cctx.Err())

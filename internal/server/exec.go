@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"time"
 
 	"lbic"
 	"lbic/client"
 	"lbic/internal/runner"
+	"lbic/internal/tracing"
 )
 
 // cellSpec is one validated unit of simulation work: a named program under
@@ -121,17 +123,34 @@ type flight struct {
 // dedup, then an actual bounded, isolated simulation. ctx only governs this
 // caller's wait — the simulation itself runs under the server's lifetime so
 // one impatient client cannot poison the waiters sharing its flight.
+//
+// When ctx carries a trace, the cell contributes an "exec <key>" span
+// annotated with which reuse layer served it: result-cache hit, singleflight
+// follower, or singleflight leader (the one that actually simulates).
 func (s *Server) executeCell(ctx context.Context, sp cellSpec) client.CellResult {
-	cr := client.CellResult{Key: sp.key, Benchmark: sp.progToken(), Port: sp.port.Key()}
-	if b, ok := s.results.get(sp.key); ok {
-		cr.Cached = true
-		cr.Report = b
+	start := time.Now()
+	ctx, span := tracing.Start(ctx, "exec "+sp.key)
+	defer span.End()
+	done := func(cr client.CellResult) client.CellResult {
+		cr.ElapsedNS = time.Since(start).Nanoseconds()
+		if cr.Error != "" {
+			span.SetAttr("error", cr.Error)
+		}
 		return cr
 	}
+	cr := client.CellResult{Key: sp.key, Benchmark: sp.progToken(), Port: sp.port.Key()}
+	if b, ok := s.results.get(sp.key); ok {
+		span.SetAttr("result_cache", "hit")
+		cr.Cached = true
+		cr.Report = b
+		return done(cr)
+	}
+	span.SetAttr("result_cache", "miss")
 
 	s.flightMu.Lock()
 	if f, ok := s.inflight[sp.key]; ok {
 		s.flightMu.Unlock()
+		span.SetAttr("singleflight", "follower")
 		select {
 		case <-f.done:
 			s.mSingleflightShared.Add(1)
@@ -143,13 +162,14 @@ func (s *Server) executeCell(ctx context.Context, sp cellSpec) client.CellResult
 		case <-ctx.Done():
 			cr.Error = ctx.Err().Error()
 		}
-		return cr
+		return done(cr)
 	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[sp.key] = f
 	s.flightMu.Unlock()
+	span.SetAttr("singleflight", "leader")
 
-	f.bytes, f.err = s.simulateCell(sp)
+	f.bytes, f.err = s.simulateCell(ctx, sp)
 	if f.err == nil {
 		s.results.put(sp.key, f.bytes)
 	}
@@ -163,18 +183,26 @@ func (s *Server) executeCell(ctx context.Context, sp cellSpec) client.CellResult
 	} else {
 		cr.Report = f.bytes
 	}
-	return cr
+	return done(cr)
 }
 
 // simulateCell runs the actual simulation: one slot of the server-wide
 // parallelism bound, one runner cell for the per-cell deadline and panic
 // isolation, the shared trace cache for record-once/replay-many streaming.
-func (s *Server) simulateCell(sp cellSpec) ([]byte, error) {
+// The simulation runs under the server's lifetime context — deliberately
+// detached from the caller's cancellation — but adopts the caller's trace,
+// so the runner's cell span and the simulate span still land in the
+// request's (or job's) tree.
+func (s *Server) simulateCell(ctx context.Context, sp cellSpec) ([]byte, error) {
+	// The queue span is a leaf measuring the wait for a parallelism slot.
+	_, span := tracing.Start(ctx, "queue "+sp.key)
 	select {
 	case s.sem <- struct{}{}:
 	case <-s.baseCtx.Done():
+		span.End()
 		return nil, s.baseCtx.Err()
 	}
+	span.End()
 	defer func() { <-s.sem }()
 
 	cell := runner.Cell[[]byte]{Key: sp.key, Run: func(ctx context.Context) ([]byte, error) {
@@ -202,7 +230,7 @@ func (s *Server) simulateCell(sp cellSpec) ([]byte, error) {
 		}
 		return buf.Bytes(), nil
 	}}
-	out, _ := runner.Run(s.baseCtx, []runner.Cell[[]byte]{cell}, runner.Options{
+	out, _ := runner.Run(tracing.Adopt(s.baseCtx, ctx), []runner.Cell[[]byte]{cell}, runner.Options{
 		Timeout:   s.opts.CellTimeout,
 		Retries:   s.opts.Retries,
 		KeepGoing: true,

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"lbic/client"
+	"lbic/internal/tracing"
 )
 
 // job tracks one accepted sweep: its cells' results in completion order and
@@ -14,6 +15,9 @@ import (
 type job struct {
 	id    string
 	total int
+	// trace collects the sweep's span tree (job root → cells → simulate);
+	// it lives as long as the job, serving GET /v1/jobs/{id}/trace.
+	trace *tracing.Trace
 
 	mu     sync.Mutex
 	events []client.StreamEvent
@@ -24,7 +28,7 @@ type job struct {
 }
 
 func newJob(id string, total int) *job {
-	return &job{id: id, total: total, wake: make(chan struct{})}
+	return &job{id: id, total: total, trace: tracing.New(), wake: make(chan struct{})}
 }
 
 // publishCell records one finished cell.

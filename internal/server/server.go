@@ -15,8 +15,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -26,6 +30,7 @@ import (
 	"lbic/client"
 	"lbic/internal/metrics"
 	"lbic/internal/runner"
+	"lbic/internal/tracing"
 )
 
 // Options configures a Server. Zero values select the documented defaults.
@@ -51,6 +56,9 @@ type Options struct {
 	// is evicted, and if none has finished new sweeps are rejected with 429.
 	// Default 64.
 	MaxJobs int
+	// Log receives one structured line per HTTP request (request ID, method,
+	// route, status, bytes, duration). Default: discard.
+	Log *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -80,7 +88,9 @@ func (o Options) withDefaults() Options {
 // Server is the lbicd service. Create with New, mount Handler, and on
 // shutdown call Drain (graceful) or Close (immediate).
 type Server struct {
-	opts Options
+	opts  Options
+	log   *slog.Logger
+	start time.Time
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -122,20 +132,35 @@ type Server struct {
 	mCellFailures     atomic.Uint64
 
 	mSingleflightShared atomic.Uint64
+
+	// nextReq numbers generated request IDs (requests arriving without an
+	// X-Request-Id header).
+	nextReq atomic.Uint64
+	// latMu guards routeLat, the per-route request latency histograms
+	// created on first hit.
+	latMu    sync.Mutex
+	routeLat map[string]*metrics.LatencyHistogram
 }
 
 // New returns a ready Server.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	log := opts.Log
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		opts:     opts,
+		log:      log,
+		start:    time.Now(),
 		baseCtx:  ctx,
 		cancel:   cancel,
 		sem:      make(chan struct{}, opts.MaxParallel),
 		programs: make(map[string]*lbic.Program),
 		inflight: make(map[string]*flight),
 		jobs:     make(map[string]*job),
+		routeLat: make(map[string]*metrics.LatencyHistogram),
 	}
 	if opts.TraceCacheBytes >= 0 {
 		s.traces = lbic.NewTraceCache(opts.TraceCacheBytes)
@@ -146,16 +171,109 @@ func New(opts Options) *Server {
 	return s
 }
 
-// Handler returns the service's route multiplexer.
+// Handler returns the service's route multiplexer, wrapped in the
+// observability middleware: every request gets an X-Request-Id (propagated
+// from the caller or generated), a root span on a per-request trace, one
+// structured log line, and a sample in its route's latency histogram.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	routes := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"POST /v1/simulate", s.handleSimulate},
+		{"POST /v1/sweep", s.handleSweep},
+		{"GET /v1/jobs/{id}", s.handleJob},
+		{"GET /v1/jobs/{id}/stream", s.handleJobStream},
+		{"GET /v1/jobs/{id}/trace", s.handleJobTrace},
+		{"GET /healthz", s.handleHealthz},
+		{"GET /metrics", s.handleMetrics},
+	}
+	for _, rt := range routes {
+		mux.HandleFunc(rt.pattern, rt.h)
+		// Pre-create the latency histogram so every route appears in the
+		// exposition from the first scrape, not only after its first hit.
+		s.routeLatency(rt.pattern)
+	}
+	return s.observe(mux)
+}
+
+// statusWriter captures the status and byte count of a response, passing
+// Flush through so streaming handlers keep working.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// observe wraps mux with the per-request observability envelope. The route
+// label comes from the mux's own pattern match (e.g. "POST /v1/simulate"),
+// so metrics and logs never explode on unbounded path cardinality.
+func (s *Server) observe(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = fmt.Sprintf("req-%d", s.nextReq.Add(1))
+		}
+		w.Header().Set("X-Request-Id", reqID)
+		_, route := mux.Handler(r)
+		if route == "" {
+			route = r.Method + " unmatched"
+		}
+
+		tr := tracing.New()
+		ctx := tracing.NewContext(r.Context(), tr)
+		ctx, span := tracing.Start(ctx, route)
+		span.SetAttr("request_id", reqID)
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		mux.ServeHTTP(sw, r.WithContext(ctx))
+
+		span.SetAttr("status", sw.status)
+		span.End()
+		elapsed := time.Since(start)
+		s.routeLatency(route).Observe(elapsed)
+		s.log.LogAttrs(ctx, slog.LevelInfo, "request",
+			slog.String("id", reqID),
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.Int("status", sw.status),
+			slog.Int64("bytes", sw.bytes),
+			slog.Duration("dur", elapsed),
+		)
+	})
+}
+
+// routeLatency returns (creating on first hit) the latency histogram for a
+// route label.
+func (s *Server) routeLatency(route string) *metrics.LatencyHistogram {
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	h, ok := s.routeLat[route]
+	if !ok {
+		h = metrics.NewLatencyHistogram("server.request_duration_seconds",
+			"HTTP request latency by route.", fmt.Sprintf("route=%q", route), nil)
+		s.routeLat[route] = h
+	}
+	return h
 }
 
 // BeginDrain stops admitting new work; in-flight requests and jobs keep
@@ -382,8 +500,13 @@ func (s *Server) registerJob(total int) (*job, error) {
 
 // runJob executes a sweep's cells on the runner under the server's
 // parallelism bound and publishes each settled cell to the job's stream.
+// The whole sweep records into the job's own trace: one root span for the
+// job, one subtree per cell, down to the simulate spans — exported live or
+// after the fact by GET /v1/jobs/{id}/trace.
 func (s *Server) runJob(j *job, specs []cellSpec, release func()) {
 	defer release()
+	jctx, root := j.trace.Start(tracing.NewContext(s.baseCtx, j.trace), "job "+j.id)
+	root.SetAttr("cells", len(specs))
 	cells := make([]runner.Cell[struct{}], len(specs))
 	for i, sp := range specs {
 		sp := sp
@@ -395,8 +518,11 @@ func (s *Server) runJob(j *job, specs []cellSpec, release func()) {
 	// The per-cell deadline, retry, and panic story lives inside
 	// executeCell's own runner invocation (shared with /v1/simulate); this
 	// outer run provides the fan-out and honors server shutdown.
-	runner.Run(s.baseCtx, cells, runner.Options{Jobs: s.opts.MaxParallel, KeepGoing: true})
+	runner.Run(jctx, cells, runner.Options{Jobs: s.opts.MaxParallel, KeepGoing: true})
+	root.End()
 	j.finish()
+	s.log.LogAttrs(s.baseCtx, slog.LevelInfo, "job finished",
+		slog.String("id", j.id), slog.Int("cells", len(specs)))
 }
 
 func (s *Server) lookupJob(id string) (*job, bool) {
@@ -467,15 +593,56 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// buildHealth assembles the health body: status plus the binary's build
+// identity, so "which lbicd answered?" is one curl away.
+func (s *Server) buildHealth(status string) client.Health {
+	h := client.Health{
+		Status:        status,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		h.GoVersion = bi.GoVersion
+		h.Module = bi.Main.Path
+		h.Version = bi.Main.Version
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				h.Revision = kv.Value
+			}
+		}
+	}
+	return h
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.admitMu.Lock()
 	draining := s.draining
 	s.admitMu.Unlock()
 	if draining {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, s.buildHealth("draining"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, s.buildHealth("ok"))
+}
+
+// handleJobTrace exports a job's span tree: the default is the lbic-trace/v1
+// JSONL stream; ?format=chrome serves a chrome://tracing-loadable document.
+// The trace is available while the job runs (open spans are marked) and
+// after it finishes, for as long as the job is retained.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	s.mRequests.Add(1)
+	j, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	spans := j.trace.Snapshot()
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		lbic.WriteChromeTrace(w, j.id, spans)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	lbic.WriteTraceJSONL(w, j.id, j.trace.Epoch().UnixNano(), spans)
 }
 
 // metricsRegistry assembles a fresh registry from the server's live
@@ -518,15 +685,30 @@ func (s *Server) metricsRegistry() *metrics.Registry {
 		add("tracecache.entries", "resident recordings", uint64(st.Entries))
 		add("tracecache.bytes_live", "resident recording bytes", uint64(st.BytesLive))
 	}
+	s.latMu.Lock()
+	lats := make([]*metrics.LatencyHistogram, 0, len(s.routeLat))
+	for _, h := range s.routeLat {
+		lats = append(lats, h)
+	}
+	s.latMu.Unlock()
+	sort.Slice(lats, func(i, j int) bool { return lats[i].Labels < lats[j].Labels })
+	reg.AddLatency(lats...)
 	return reg
 }
 
+// handleMetrics serves the registry. The default is the Prometheus text
+// exposition format (scrapeable); ?format=json serves the structured
+// snapshot and ?format=text the human-aligned tables.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	reg := s.metricsRegistry()
-	if r.URL.Query().Get("format") == "json" {
+	switch r.URL.Query().Get("format") {
+	case "json":
 		writeJSON(w, http.StatusOK, reg.Snapshot())
-		return
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.WriteText(w)
+	default:
+		w.Header().Set("Content-Type", metrics.ExpositionContentType)
+		reg.WritePrometheus(w)
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	reg.WriteText(w)
 }

@@ -15,6 +15,7 @@ import (
 
 	"lbic"
 	"lbic/client"
+	"lbic/internal/metrics"
 	"lbic/internal/server"
 )
 
@@ -366,6 +367,8 @@ func TestJobStreamSSE(t *testing.T) {
 
 func TestMetricsTextExport(t *testing.T) {
 	_, c := newTestServer(t, server.Options{})
+	// The default is the Prometheus exposition format: valid per the
+	// package's own validator and carrying the core counter families.
 	resp, err := http.Get(c.BaseURL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -375,9 +378,30 @@ func TestMetricsTextExport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"server.requests", "tracecache.records", "resultcache.hits"} {
+	if n, err := metrics.ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Errorf("exposition invalid: %v\n%s", err, body)
+	} else if n == 0 {
+		t.Error("exposition has no samples")
+	}
+	for _, want := range []string{"server_requests_total", "tracecache_records_total", "resultcache_hits_total", "server_request_duration_seconds_bucket"} {
 		if !bytes.Contains(body, []byte(want)) {
-			t.Errorf("text metrics missing %q:\n%s", want, body)
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	// ?format=text keeps the human-aligned table view with dotted names.
+	resp2, err := http.Get(c.BaseURL + "/metrics?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body2, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"server.requests", "tracecache.records", "resultcache.hits"} {
+		if !bytes.Contains(body2, []byte(want)) {
+			t.Errorf("text metrics missing %q:\n%s", want, body2)
 		}
 	}
 }

@@ -194,6 +194,21 @@ func (c *Cache) evictOldest(keep Key) bool {
 	return true
 }
 
+// Contains reports whether a settled recording for prog at the given budget
+// is resident, without counting a hit or touching the LRU order. It answers
+// "would a run right now replay?" for observability; an in-flight recording
+// reports false (the run would block on it, then replay).
+func (c *Cache) Contains(prog *isa.Program, insts uint64) bool {
+	if c == nil || insts == 0 {
+		return false
+	}
+	key := c.keyFor(prog, insts)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return ok && e.trace != nil
+}
+
 // KeyFor builds the cache key for prog at the given budget.
 func KeyFor(prog *isa.Program, insts uint64) Key {
 	return Key{Name: prog.Name, Fingerprint: Fingerprint(prog), Insts: insts}

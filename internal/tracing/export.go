@@ -1,0 +1,202 @@
+package tracing
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Schema identifies the JSONL trace layout: a header line carrying the
+// trace-level fields, then one SpanData object per line.
+const Schema = "lbic-trace/v1"
+
+// Header is the first line of a JSONL trace export.
+type Header struct {
+	Schema string `json:"schema"`
+	// Name labels the trace (the job ID, the request ID, the command line).
+	Name string `json:"name,omitempty"`
+	// EpochUnixNS anchors span offsets to wall-clock time.
+	EpochUnixNS int64 `json:"epoch_unix_ns,omitempty"`
+	// Spans counts the span lines that follow.
+	Spans int `json:"spans"`
+}
+
+// WriteJSONL writes the lbic-trace/v1 stream: a header line, then one span
+// per line in snapshot order.
+func WriteJSONL(w io.Writer, name string, epochUnixNS int64, spans []SpanData) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(Header{Schema: Schema, Name: name, EpochUnixNS: epochUnixNS, Spans: len(spans)}); err != nil {
+		return err
+	}
+	for _, s := range spans {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a stream written by WriteJSONL. A missing or malformed
+// header is an error; span lines must all parse.
+func ReadJSONL(r io.Reader) (Header, []SpanData, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	var h Header
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return h, nil, err
+		}
+		return h, nil, fmt.Errorf("tracing: empty trace stream")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return h, nil, fmt.Errorf("tracing: parsing trace header: %w", err)
+	}
+	if h.Schema != Schema {
+		return h, nil, fmt.Errorf("tracing: unknown trace schema %q (want %q)", h.Schema, Schema)
+	}
+	var spans []SpanData
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var s SpanData
+		if err := json.Unmarshal(line, &s); err != nil {
+			return h, spans, fmt.Errorf("tracing: parsing span line %d: %w", len(spans)+2, err)
+		}
+		spans = append(spans, s)
+	}
+	return h, spans, sc.Err()
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON-object form of the trace-event format, which both
+// chrome://tracing and Perfetto load.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders spans as a chrome://tracing-loadable document. Spans
+// are complete ("X") events; each direct child of a root span gets its own
+// thread lane (deeper descendants inherit their ancestor's lane), so
+// concurrent sweep cells render side by side with their sub-spans nested.
+func WriteChrome(w io.Writer, name string, spans []SpanData) error {
+	// Lane assignment: roots on lane 0; each direct child of a root opens
+	// the next lane; everything deeper inherits.
+	lane := make(map[uint64]uint64, len(spans))
+	parentOf := make(map[uint64]uint64, len(spans))
+	isRoot := make(map[uint64]bool, len(spans))
+	var nextLane uint64
+	for _, s := range spans {
+		parentOf[s.ID] = s.Parent
+		if s.Parent == 0 {
+			isRoot[s.ID] = true
+			lane[s.ID] = 0
+		}
+	}
+	for _, s := range spans {
+		if s.Parent == 0 {
+			continue
+		}
+		if isRoot[s.Parent] {
+			nextLane++
+			lane[s.ID] = nextLane
+			continue
+		}
+		// Inherit the nearest assigned ancestor (spans arrive in start
+		// order, so parents are assigned before children; orphans fall back
+		// to lane 0).
+		lane[s.ID] = lane[s.Parent]
+	}
+
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(spans)+1)}
+	doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": name},
+	})
+	for _, s := range spans {
+		args := make(map[string]any, len(s.Attrs)+2)
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		if s.Open {
+			args["open"] = true
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			TS:   float64(s.StartNS) / 1e3,
+			Dur:  float64(s.DurNS) / 1e3,
+			PID:  1,
+			TID:  lane[s.ID],
+			Cat:  "lbic",
+			Args: args,
+		})
+		for _, ev := range s.Events {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: ev.Name,
+				Ph:   "i",
+				TS:   float64(ev.AtNS) / 1e3,
+				PID:  1,
+				TID:  lane[s.ID],
+				Cat:  "lbic",
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(doc)
+}
+
+// ValidateTree checks the structural invariants an exported span set must
+// hold: exactly one root when requireSingleRoot, every parent reference
+// resolving, no cycles, and every span reaching a root. It returns the root
+// IDs found.
+func ValidateTree(spans []SpanData, requireSingleRoot bool) ([]uint64, error) {
+	byID := make(map[uint64]SpanData, len(spans))
+	var roots []uint64
+	for _, s := range spans {
+		if _, dup := byID[s.ID]; dup {
+			return nil, fmt.Errorf("tracing: duplicate span id %d", s.ID)
+		}
+		byID[s.ID] = s
+		if s.Parent == 0 {
+			roots = append(roots, s.ID)
+		}
+	}
+	if requireSingleRoot && len(roots) != 1 {
+		return roots, fmt.Errorf("tracing: %d root spans, want 1", len(roots))
+	}
+	for _, s := range spans {
+		seen := map[uint64]bool{}
+		for cur := s; cur.Parent != 0; {
+			if seen[cur.ID] {
+				return roots, fmt.Errorf("tracing: span %d is in a parent cycle", s.ID)
+			}
+			seen[cur.ID] = true
+			p, ok := byID[cur.Parent]
+			if !ok {
+				return roots, fmt.Errorf("tracing: span %d (%s) has unknown parent %d", cur.ID, cur.Name, cur.Parent)
+			}
+			cur = p
+		}
+	}
+	return roots, nil
+}

@@ -1,0 +1,277 @@
+// Package tracing is the serving plane's request-to-cycle span tracer: a
+// lightweight, allocation-conscious way to answer "where did this request's
+// wall-clock time go — admission, trace recording, cell simulation, or
+// encoding?". A Trace is a per-request (or per-job) buffer of Spans; each
+// Span has a name, start/end time, a parent, and free-form attributes and
+// point events. Spans propagate through context.Context, so the HTTP layer,
+// the sweep runner, and lbic.Simulate each contribute their own level of the
+// tree without knowing about each other.
+//
+// The design goals, in order:
+//
+//  1. Zero cost when disabled. Start on a context with no trace returns a
+//     nil *Span whose methods are nil-safe no-ops; no allocation, no atomic,
+//     no branch in the caller. The simulator's hot loop never sees a span at
+//     all — spans terminate at the per-run level.
+//  2. Lock-free append. Concurrent cells publish finished spans onto the
+//     trace with a single compare-and-swap onto an intrusive list; there is
+//     no mutex for goroutines to convoy on.
+//  3. Exportable two ways: JSON Lines (one span per line, schema
+//     lbic-trace/v1) for programmatic consumers and the Chrome trace-event
+//     format for chrome://tracing / Perfetto.
+//
+// A Span is owned by the goroutine that started it until End; SetAttr and
+// Event must not race with each other from different goroutines. End is
+// idempotent — the first call wins — and publishing happens at Start, so a
+// snapshot taken mid-request sees in-flight spans (marked open).
+package tracing
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// EventData is a point-in-time annotation within a span.
+type EventData struct {
+	Name string `json:"name"`
+	// AtNS is nanoseconds since the trace start.
+	AtNS int64 `json:"at_ns"`
+}
+
+// Span is one timed operation in a trace. The zero of *Span (nil) is a
+// valid no-op span: every method is nil-safe, so call sites never branch on
+// whether tracing is enabled.
+type Span struct {
+	// next links the trace's intrusive publish list (newest first).
+	next *Span
+	tr   *Trace
+
+	id     uint64
+	parent uint64
+	name   string
+	// startNS is nanoseconds since the trace start.
+	startNS int64
+	// endNS is nanoseconds since the trace start, plus one so that a span
+	// ending in the trace's first nanosecond is distinguishable from an open
+	// span; 0 means still open.
+	endNS atomic.Int64
+
+	attrs  []Attr
+	events []EventData
+}
+
+// ID returns the span's trace-local identifier (0 for a no-op span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetAttr annotates the span. Owner-goroutine only, before End.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// Event records a named instant within the span. Owner-goroutine only,
+// before End.
+func (s *Span) Event(name string) {
+	if s == nil {
+		return
+	}
+	s.events = append(s.events, EventData{Name: name, AtNS: s.tr.since()})
+}
+
+// End closes the span. The first call wins; later calls are no-ops, so a
+// span defended by both a defer and an explicit End closes exactly once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.endNS.CompareAndSwap(0, s.tr.since()+1)
+}
+
+// Ended reports whether End has been called.
+func (s *Span) Ended() bool {
+	return s != nil && s.endNS.Load() != 0
+}
+
+// Trace is one request's (or job's) span buffer. Create with New, thread
+// with NewContext/Start, and export with Snapshot.
+type Trace struct {
+	start  time.Time
+	nextID atomic.Uint64
+	head   atomic.Pointer[Span]
+	// count tracks published spans so Snapshot can size its slice.
+	count atomic.Int64
+}
+
+// New returns an empty trace whose clock starts now.
+func New() *Trace {
+	return &Trace{start: time.Now()}
+}
+
+// Start opens a span as a child of ctx's current span (a root span if ctx
+// carries none) and returns a context carrying the new span. The span is
+// published to the trace immediately, so snapshots see open spans.
+func (t *Trace) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	var parent uint64
+	if p := SpanFromContext(ctx); p != nil && p.tr == t {
+		parent = p.id
+	}
+	s := &Span{
+		tr:      t,
+		id:      t.nextID.Add(1),
+		parent:  parent,
+		name:    name,
+		startNS: t.since(),
+	}
+	for {
+		head := t.head.Load()
+		s.next = head
+		if t.head.CompareAndSwap(head, s) {
+			break
+		}
+	}
+	t.count.Add(1)
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// since is nanoseconds since the trace epoch.
+func (t *Trace) since() int64 { return time.Since(t.start).Nanoseconds() }
+
+// Epoch returns the trace's start time.
+func (t *Trace) Epoch() time.Time { return t.start }
+
+// spanKey carries the current *Span (and through it the *Trace).
+type spanKey struct{}
+
+// NewContext returns ctx carrying tr with no current span: the next Start
+// opens a root span.
+func NewContext(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, &Span{tr: tr})
+}
+
+// FromContext returns the trace ctx carries, or nil.
+func FromContext(ctx context.Context) *Trace {
+	if s, ok := ctx.Value(spanKey{}).(*Span); ok {
+		return s.tr
+	}
+	return nil
+}
+
+// SpanFromContext returns ctx's current span, or nil. A NewContext anchor
+// (trace attached, no span started yet) also returns nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, ok := ctx.Value(spanKey{}).(*Span)
+	if !ok || s.id == 0 {
+		return nil
+	}
+	return s
+}
+
+// Start opens a span on ctx's trace; with no trace attached it returns ctx
+// unchanged and a nil (no-op) span, costing nothing.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	s, ok := ctx.Value(spanKey{}).(*Span)
+	if !ok {
+		return ctx, nil
+	}
+	return s.tr.Start(ctx, name)
+}
+
+// Adopt returns base carrying from's trace and current span, so work that
+// must outlive a caller's cancellation (base is typically the server
+// lifetime context) still records into the caller's trace. With no trace on
+// from it returns base unchanged.
+func Adopt(base, from context.Context) context.Context {
+	if s, ok := from.Value(spanKey{}).(*Span); ok {
+		return context.WithValue(base, spanKey{}, s)
+	}
+	return base
+}
+
+// SpanData is a span's exportable state (one JSONL line of the
+// lbic-trace/v1 stream).
+type SpanData struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	// StartNS is nanoseconds since the trace epoch.
+	StartNS int64 `json:"start_ns"`
+	// DurNS is the span's duration; for a span still open at snapshot time
+	// it is the time to the snapshot and Open is true.
+	DurNS int64 `json:"dur_ns"`
+	Open  bool  `json:"open,omitempty"`
+
+	Attrs  map[string]any `json:"attrs,omitempty"`
+	Events []EventData    `json:"events,omitempty"`
+}
+
+// Snapshot returns the trace's spans ordered by start time (ties by ID).
+// Open spans are included with their duration clamped to now. Attributes of
+// open spans owned by other goroutines are deliberately not read — SetAttr
+// is unsynchronized by design — so open spans export with nil Attrs.
+func (t *Trace) Snapshot() []SpanData {
+	if t == nil {
+		return nil
+	}
+	now := t.since()
+	out := make([]SpanData, 0, t.count.Load())
+	for s := t.head.Load(); s != nil; s = s.next {
+		d := SpanData{
+			ID:      s.id,
+			Parent:  s.parent,
+			Name:    s.name,
+			StartNS: s.startNS,
+		}
+		if end := s.endNS.Load(); end != 0 {
+			d.DurNS = (end - 1) - s.startNS
+			d.Attrs = attrMap(s.attrs)
+			if len(s.events) > 0 {
+				d.Events = append([]EventData(nil), s.events...)
+			}
+		} else {
+			d.DurNS = now - s.startNS
+			d.Open = true
+		}
+		out = append(out, d)
+	}
+	// The publish list is newest-first, but concurrent Starts can publish
+	// out of ID order; sort into start order with IDs breaking ties.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartNS != out[j].StartNS {
+			return out[i].StartNS < out[j].StartNS
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}

@@ -1,0 +1,315 @@
+package tracing
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanParenting(t *testing.T) {
+	tr := New()
+	ctx := NewContext(context.Background(), tr)
+	ctx, root := tr.Start(ctx, "root")
+	cctx, child := Start(ctx, "child")
+	_, grand := Start(cctx, "grandchild")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "root" || spans[0].Parent != 0 {
+		t.Errorf("root = %+v", spans[0])
+	}
+	if spans[1].Name != "child" || spans[1].Parent != spans[0].ID {
+		t.Errorf("child = %+v (root id %d)", spans[1], spans[0].ID)
+	}
+	if spans[2].Name != "grandchild" || spans[2].Parent != spans[1].ID {
+		t.Errorf("grandchild = %+v (child id %d)", spans[2], spans[1].ID)
+	}
+	if _, err := ValidateTree(spans, true); err != nil {
+		t.Errorf("ValidateTree: %v", err)
+	}
+	for _, s := range spans {
+		if s.Open {
+			t.Errorf("span %q still open", s.Name)
+		}
+		if s.DurNS < 0 {
+			t.Errorf("span %q has negative duration %d", s.Name, s.DurNS)
+		}
+	}
+}
+
+func TestSiblingsShareParent(t *testing.T) {
+	tr := New()
+	ctx, root := tr.Start(NewContext(context.Background(), tr), "root")
+	// Two siblings started from the same parent context: each gets the root
+	// as parent, not each other.
+	_, a := Start(ctx, "a")
+	a.End()
+	_, b := Start(ctx, "b")
+	b.End()
+	root.End()
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	for _, s := range spans[1:] {
+		if s.Parent != spans[0].ID {
+			t.Errorf("%s parent = %d, want root %d", s.Name, s.Parent, spans[0].ID)
+		}
+	}
+}
+
+func TestAttrsAndEvents(t *testing.T) {
+	tr := New()
+	_, sp := tr.Start(NewContext(context.Background(), tr), "cell")
+	sp.SetAttr("key", "sim/compress/lbic-4x2/i1000")
+	sp.SetAttr("cycles", uint64(1234))
+	sp.Event("retry")
+	sp.End()
+	spans := tr.Snapshot()
+	if got := spans[0].Attrs["key"]; got != "sim/compress/lbic-4x2/i1000" {
+		t.Errorf("attr key = %v", got)
+	}
+	if got := spans[0].Attrs["cycles"]; got != uint64(1234) {
+		t.Errorf("attr cycles = %v (%T)", got, got)
+	}
+	if len(spans[0].Events) != 1 || spans[0].Events[0].Name != "retry" {
+		t.Errorf("events = %+v", spans[0].Events)
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := New()
+	_, sp := tr.Start(NewContext(context.Background(), tr), "x")
+	sp.End()
+	first := tr.Snapshot()[0].DurNS
+	time.Sleep(2 * time.Millisecond)
+	sp.End() // must not move the end time
+	if got := tr.Snapshot()[0].DurNS; got != first {
+		t.Errorf("second End moved duration %d -> %d", first, got)
+	}
+}
+
+func TestOpenSpansInSnapshot(t *testing.T) {
+	tr := New()
+	ctx, root := tr.Start(NewContext(context.Background(), tr), "root")
+	_, child := Start(ctx, "child")
+	child.End()
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if !spans[0].Open {
+		t.Errorf("root should be open in a mid-flight snapshot")
+	}
+	if spans[1].Open {
+		t.Errorf("ended child marked open")
+	}
+	root.End()
+}
+
+// TestNoopSpanZeroAlloc pins the disabled-tracing cost: a context without a
+// trace must make Start free.
+func TestNoopSpanZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		ctx2, sp := Start(ctx, "ignored")
+		sp.SetAttr("k", 1)
+		sp.Event("e")
+		sp.End()
+		if ctx2 != ctx {
+			t.Fatal("no-op Start must return the original context")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("no-op span path allocates %v/op, want 0", allocs)
+	}
+	// Nil receivers throughout.
+	var nilSpan *Span
+	nilSpan.SetAttr("k", "v")
+	nilSpan.Event("e")
+	nilSpan.End()
+	if nilSpan.Ended() || nilSpan.ID() != 0 {
+		t.Error("nil span should report unended, id 0")
+	}
+	var nilTrace *Trace
+	if nilTrace.Snapshot() != nil {
+		t.Error("nil trace snapshot should be nil")
+	}
+}
+
+// TestConcurrentPublish exercises the lock-free append under the race
+// detector: many goroutines start and end child spans concurrently.
+func TestConcurrentPublish(t *testing.T) {
+	tr := New()
+	ctx, root := tr.Start(NewContext(context.Background(), tr), "root")
+	const workers, per = 16, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_, sp := Start(ctx, fmt.Sprintf("w%d-%d", w, i))
+				sp.SetAttr("worker", w)
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	spans := tr.Snapshot()
+	if len(spans) != workers*per+1 {
+		t.Fatalf("got %d spans, want %d", len(spans), workers*per+1)
+	}
+	if _, err := ValidateTree(spans, true); err != nil {
+		t.Fatal(err)
+	}
+	ids := make(map[uint64]bool)
+	for _, s := range spans {
+		if ids[s.ID] {
+			t.Fatalf("duplicate id %d", s.ID)
+		}
+		ids[s.ID] = true
+		if s.Name != "root" && s.Parent != root.ID() {
+			t.Errorf("span %s parent = %d, want %d", s.Name, s.Parent, root.ID())
+		}
+	}
+}
+
+func TestAdopt(t *testing.T) {
+	tr := New()
+	reqCtx, root := tr.Start(NewContext(context.Background(), tr), "request")
+	base, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	adopted := Adopt(base, reqCtx)
+	_, sp := Start(adopted, "long-lived")
+	sp.End()
+	root.End()
+	spans := tr.Snapshot()
+	if len(spans) != 2 || spans[1].Parent != spans[0].ID {
+		t.Fatalf("adopted span not parented to request root: %+v", spans)
+	}
+	// Adopt from a traceless context is a no-op.
+	if got := Adopt(base, context.Background()); got != base {
+		t.Error("Adopt without a trace should return base unchanged")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := New()
+	ctx, root := tr.Start(NewContext(context.Background(), tr), "job job-1")
+	_, sp := Start(ctx, "cell sim/compress/bank-4/i1000")
+	sp.SetAttr("result_cache", "miss")
+	sp.End()
+	root.End()
+	spans := tr.Snapshot()
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, "job-1", tr.Epoch().UnixNano(), spans); err != nil {
+		t.Fatal(err)
+	}
+	h, got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Schema != Schema || h.Name != "job-1" || h.Spans != len(spans) {
+		t.Errorf("header = %+v", h)
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("round-tripped %d spans, want %d", len(got), len(spans))
+	}
+	if got[1].Attrs["result_cache"] != "miss" {
+		t.Errorf("attrs lost: %+v", got[1])
+	}
+	if _, err := ValidateTree(got, true); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadJSONLRejectsBadInput(t *testing.T) {
+	if _, _, err := ReadJSONL(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream should fail")
+	}
+	if _, _, err := ReadJSONL(bytes.NewReader([]byte("{\"schema\":\"nope/v9\",\"spans\":0}\n"))); err == nil {
+		t.Error("unknown schema should fail")
+	}
+	bad := "{\"schema\":\"" + Schema + "\",\"spans\":1}\nnot json\n"
+	if _, _, err := ReadJSONL(bytes.NewReader([]byte(bad))); err == nil {
+		t.Error("malformed span line should fail")
+	}
+}
+
+// TestChromeExport checks that the Chrome trace document is valid JSON in
+// the trace-event shape chrome://tracing loads: an object with a
+// traceEvents array of events each carrying name/ph/ts/pid/tid.
+func TestChromeExport(t *testing.T) {
+	tr := New()
+	ctx, root := tr.Start(NewContext(context.Background(), tr), "job")
+	c1ctx, c1 := Start(ctx, "cell a")
+	_, s1 := Start(c1ctx, "simulate a")
+	s1.SetAttr("cycles", 99)
+	s1.End()
+	c1.End()
+	_, c2 := Start(ctx, "cell b")
+	c2.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, "test", tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// Metadata event + 4 spans.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d trace events, want 5", len(doc.TraceEvents))
+	}
+	lanes := map[string]float64{}
+	for _, ev := range doc.TraceEvents[1:] {
+		for _, k := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[k]; !ok {
+				t.Errorf("event %v missing %q", ev, k)
+			}
+		}
+		if ev["ph"] != "X" {
+			t.Errorf("span event ph = %v, want X", ev["ph"])
+		}
+		lanes[ev["name"].(string)] = ev["tid"].(float64)
+	}
+	// The two cells get distinct lanes; the nested simulate inherits cell
+	// a's, and the root sits on lane 0.
+	if lanes["cell a"] == lanes["cell b"] {
+		t.Errorf("sibling cells share lane %v", lanes["cell a"])
+	}
+	if lanes["simulate a"] != lanes["cell a"] {
+		t.Errorf("nested span lane %v != parent lane %v", lanes["simulate a"], lanes["cell a"])
+	}
+	if lanes["job"] != 0 {
+		t.Errorf("root lane = %v, want 0", lanes["job"])
+	}
+}
+
+func TestValidateTreeRejects(t *testing.T) {
+	if _, err := ValidateTree([]SpanData{{ID: 1}, {ID: 1}}, false); err == nil {
+		t.Error("duplicate id should fail")
+	}
+	if _, err := ValidateTree([]SpanData{{ID: 1, Parent: 99}}, false); err == nil {
+		t.Error("unknown parent should fail")
+	}
+	if _, err := ValidateTree([]SpanData{{ID: 1}, {ID: 2}}, true); err == nil {
+		t.Error("two roots should fail when one is required")
+	}
+}

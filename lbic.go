@@ -32,6 +32,7 @@ import (
 	"lbic/internal/refstream"
 	"lbic/internal/trace"
 	"lbic/internal/tracecache"
+	"lbic/internal/tracing"
 	"lbic/internal/vm"
 	"lbic/internal/workload"
 )
@@ -546,13 +547,39 @@ func Simulate(prog *Program, cfg Config) (Result, error) {
 // SimulateContext is Simulate under a context: canceling ctx (or its deadline
 // expiring) stops the run at the next cycle-poll boundary with the context's
 // error. Guest faults and internal panics surface as errors, never panics.
+//
+// When ctx carries a trace (see WithTrace) the run contributes one terminal
+// span named "simulate <program>" with the run's coordinates and outcome —
+// port, instruction budget, cycles, IPC, whether the dynamic stream replayed
+// from the trace cache — so a traced sweep accounts simulation time down to
+// individual runs. Without a trace on ctx the span machinery costs nothing.
 func SimulateContext(ctx context.Context, prog *Program, cfg Config) (res Result, err error) {
+	ctx, span := tracing.Start(ctx, "simulate "+prog.Name)
+	defer span.End()
 	defer recoverSimPanic(prog, &err)
+	defer func() {
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+	}()
+	span.SetAttr("benchmark", prog.Name)
+	span.SetAttr("port", cfg.Port.Key())
+	if cfg.Trace != nil && cfg.MaxInsts > 0 && !cfg.Verify {
+		if cfg.Trace.Contains(prog, cfg.MaxInsts) {
+			span.SetAttr("trace_cache", "hit")
+		} else {
+			span.SetAttr("trace_cache", "miss")
+		}
+	} else {
+		span.SetAttr("trace_cache", "off")
+	}
 
 	s, err := buildSim(ctx, prog, cfg)
 	if err != nil {
 		return Result{}, err
 	}
+	span.SetAttr("replayed", s.tcache != nil)
+	span.Event("core start")
 	st, err := s.core.RunContext(ctx)
 	if err != nil {
 		return Result{}, fmt.Errorf("lbic: simulating %q on %s: %w", prog.Name, cfg.Port.Name(), err)
@@ -560,7 +587,18 @@ func SimulateContext(ctx context.Context, prog *Program, cfg Config) (res Result
 	if err := s.finishVerify(true); err != nil {
 		return Result{}, fmt.Errorf("lbic: simulating %q on %s: %w", prog.Name, cfg.Port.Name(), err)
 	}
-	return s.result(prog, cfg, st), nil
+	res = s.result(prog, cfg, st)
+	span.SetAttr("cycles", res.Cycles)
+	span.SetAttr("insts", res.Insts)
+	span.SetAttr("ipc", res.IPC)
+	if res.BankConflicts > 0 {
+		span.SetAttr("bank_conflicts", res.BankConflicts)
+	}
+	if res.LBIC != nil {
+		span.SetAttr("lbic_line_conflicts", res.LBIC.LineConflicts)
+		span.SetAttr("lbic_combined", res.LBIC.Combined)
+	}
+	return res, nil
 }
 
 // CharacterizeOptions configures Characterize. The zero value measures the

@@ -5,6 +5,16 @@
 // Input lines are passed through to stdout unchanged, so the tool can sit at
 // the end of a pipeline without hiding benchmark progress. Lines that are
 // not benchmark results (logs, pass/fail summaries) are ignored.
+//
+// With -diff it becomes the perf regression gate instead of a converter:
+//
+//	benchjson -diff BENCH_PR4.json -against BENCH_PR5.json \
+//	          -threshold 10 -allowlist BENCH_ALLOWLIST.json
+//
+// Every benchmark present in both files is compared on ns/op; a slowdown
+// past the threshold fails the run (exit 1) unless an allowlist entry
+// acknowledges it with a reason and a per-entry cap. Under GitHub Actions
+// the findings are emitted as workflow annotations.
 package main
 
 import (
@@ -13,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path"
 	"strconv"
 	"strings"
 )
@@ -40,7 +51,21 @@ type Doc struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout JSON is suppressed; raw input always echoes)")
+	diffOld := flag.String("diff", "", "regression-gate mode: baseline BENCH_*.json to diff from")
+	diffNew := flag.String("against", "", "candidate BENCH_*.json to diff against the -diff baseline")
+	threshold := flag.Float64("threshold", 10, "ns/op slowdown percentage that fails the gate")
+	allowlist := flag.String("allowlist", "", "JSON file of acknowledged regressions (see BENCH_ALLOWLIST.json)")
 	flag.Parse()
+
+	if *diffOld != "" || *diffNew != "" {
+		if *diffOld == "" || *diffNew == "" {
+			fatal(fmt.Errorf("-diff and -against must both be set"))
+		}
+		if err := diff(*diffOld, *diffNew, *threshold, *allowlist); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var doc Doc
 	pkg := ""
@@ -129,6 +154,141 @@ func parseBench(line string) (Result, bool) {
 		return Result{}, false
 	}
 	return r, true
+}
+
+// Allowlist is the checked-in set of acknowledged regressions. Entries match
+// by pkg and name (path.Match globs); the first match wins, so put specific
+// entries before broad ones.
+type Allowlist struct {
+	// Comment is free-form documentation; the tool ignores it.
+	Comment string       `json:"comment,omitempty"`
+	Entries []AllowEntry `json:"entries"`
+}
+
+// AllowEntry acknowledges one (pattern of) regression.
+type AllowEntry struct {
+	Pkg  string `json:"pkg"`
+	Name string `json:"name"`
+	// MaxRegressionPct replaces the global threshold for matching benchmarks:
+	// a slowdown up to this percentage is allowed (annotated, not fatal).
+	MaxRegressionPct float64 `json:"max_regression_pct"`
+	// Reason documents why the regression is acknowledged. Required: an
+	// allowlist entry without a reason is a gate hole, not an acknowledgment.
+	Reason string `json:"reason"`
+}
+
+// matchPattern is path.Match plus a bare "*" that matches anything —
+// sub-benchmark names contain "/", which path.Match's "*" will not cross.
+func matchPattern(pattern, s string) bool {
+	if pattern == "*" {
+		return true
+	}
+	ok, err := path.Match(pattern, s)
+	return err == nil && ok
+}
+
+func (a *Allowlist) match(pkg, name string) *AllowEntry {
+	for i := range a.Entries {
+		e := &a.Entries[i]
+		if matchPattern(e.Pkg, pkg) && matchPattern(e.Name, name) {
+			return e
+		}
+	}
+	return nil
+}
+
+func loadDoc(p string) (map[string]Result, error) {
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", p, err)
+	}
+	m := make(map[string]Result, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		m[b.Pkg+" "+b.Name] = b
+	}
+	return m, nil
+}
+
+// annotate emits a GitHub Actions workflow annotation when running under CI,
+// a plain stderr line otherwise.
+func annotate(level, msg string) {
+	if os.Getenv("GITHUB_ACTIONS") == "true" {
+		fmt.Printf("::%s ::%s\n", level, msg)
+		return
+	}
+	fmt.Fprintln(os.Stderr, strings.ToUpper(level)+": "+msg)
+}
+
+// diff compares ns/op between two checked-in benchmark documents and fails
+// on regressions past the threshold that no allowlist entry acknowledges.
+func diff(oldPath, newPath string, threshold float64, allowPath string) error {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		return err
+	}
+	if _, err := loadDoc(newPath); err != nil {
+		return err
+	}
+	var allow Allowlist
+	if allowPath != "" {
+		raw, err := os.ReadFile(allowPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(raw, &allow); err != nil {
+			return fmt.Errorf("parsing %s: %w", allowPath, err)
+		}
+		for _, e := range allow.Entries {
+			if strings.TrimSpace(e.Reason) == "" {
+				return fmt.Errorf("%s: entry %s %s has no reason; acknowledged regressions must say why", allowPath, e.Pkg, e.Name)
+			}
+		}
+	}
+
+	// Stable output order: the candidate document's order.
+	raw, _ := os.ReadFile(newPath)
+	var ordered Doc
+	_ = json.Unmarshal(raw, &ordered)
+
+	fmt.Printf("benchjson: %s -> %s (threshold %.0f%%)\n", oldPath, newPath, threshold)
+	failures := 0
+	for _, nb := range ordered.Benchmarks {
+		key := nb.Pkg + " " + nb.Name
+		ob, ok := oldDoc[key]
+		if !ok {
+			fmt.Printf("  new      %-60s %12.0f ns/op\n", key, nb.NsPerOp)
+			continue
+		}
+		delete(oldDoc, key)
+		if ob.NsPerOp <= 0 {
+			continue
+		}
+		pct := 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		switch {
+		case pct <= threshold:
+			fmt.Printf("  ok       %-60s %+7.1f%%\n", key, pct)
+		default:
+			if e := allow.match(nb.Pkg, nb.Name); e != nil && pct <= e.MaxRegressionPct {
+				fmt.Printf("  allowed  %-60s %+7.1f%%  (%s)\n", key, pct, e.Reason)
+				annotate("warning", fmt.Sprintf("%s: %+.1f%% ns/op, allowed: %s", key, pct, e.Reason))
+				continue
+			}
+			failures++
+			fmt.Printf("  FAIL     %-60s %+7.1f%%\n", key, pct)
+			annotate("error", fmt.Sprintf("%s regressed %+.1f%% ns/op (threshold %.0f%%) — fix it or acknowledge it in the allowlist with a reason", key, pct, threshold))
+		}
+	}
+	for key := range oldDoc {
+		fmt.Printf("  missing  %-60s (present in %s only)\n", key, oldPath)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark regression(s) past %.0f%%", failures, threshold)
+	}
+	return nil
 }
 
 func fatal(err error) {
