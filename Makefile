@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench bench-smoke bench-diff lbicd-smoke tables figures ablations fuzz reproduce clean
+.PHONY: all build vet test test-short check bench bench-smoke bench-diff lbicd-smoke advsearch-smoke tables figures ablations workloads fuzz reproduce clean
 
 all: build vet test
 
@@ -21,7 +21,7 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test ./internal/asm/ ./internal/oracle/
+	$(GO) test ./internal/asm/ ./internal/oracle/ ./internal/tracecache/
 
 test-short:
 	$(GO) test -short ./...
@@ -63,11 +63,23 @@ lbicd-smoke:
 	trap 'kill $$(cat /tmp/lbicd.pid) 2>/dev/null' EXIT; \
 	$(GO) run ./scripts/lbicdsmoke -addr http://127.0.0.1:8329 -trace-artifact $(TRACE_ARTIFACT)
 
+# advsearch-smoke is the CI gate for the adversarial-workload loop: a tiny
+# fixed-seed search must complete, and replaying the checked-in regression
+# stream must reproduce its stored report byte-for-byte.
+advsearch-smoke:
+	$(GO) run ./cmd/lbicadv -port bank-4 -insts 5000 -rounds 1 -seed 1 -q -top 3
+	$(GO) run ./cmd/lbicsim -trace-in testdata/adversarial/conflict-storm-bank-4.lbictrace \
+		-port bank-4 -json - \
+		| cmp - testdata/adversarial/conflict-storm-bank-4.report.json
+
 tables:
 	$(GO) run ./cmd/lbictables -all
 
 ablations:
 	$(GO) run ./cmd/lbictables -ablations
+
+workloads:
+	$(GO) run ./cmd/lbictables -workloads
 
 # fuzz gives each target a 30s smoke run (go's engine allows one -fuzz
 # target per invocation). Corpus seeds live in each package's testdata/fuzz/.
@@ -77,6 +89,7 @@ fuzz:
 	$(GO) test ./internal/oracle/ -fuzz FuzzArbiterGrant -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/oracle/ -fuzz FuzzCombining -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/oracle/ -fuzz FuzzStoreQueue -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/tracecache/ -fuzz FuzzTraceStreamDecode -fuzztime $(FUZZTIME)
 
 reproduce:
 	./scripts/reproduce.sh

@@ -79,8 +79,8 @@ func (p PortSpec) String() string {
 }
 
 // SimulateRequest asks /v1/simulate for one run. Exactly one of Benchmark
-// (a paper kernel name) or Pattern (an access-pattern microbenchmark) names
-// the program.
+// (a paper kernel name), Pattern (an access-pattern microbenchmark), or
+// Trace (an uploaded serialized trace) names the workload.
 type SimulateRequest struct {
 	// Schema must be RequestSchema.
 	Schema string `json:"schema"`
@@ -88,10 +88,17 @@ type SimulateRequest struct {
 	Benchmark string `json:"benchmark,omitempty"`
 	// Pattern names an access-pattern microbenchmark instead.
 	Pattern string `json:"pattern,omitempty"`
+	// Trace is a serialized lbic-trace-stream/v1 stream to replay instead of
+	// a named program (base64-encoded on the wire, as encoding/json does for
+	// byte slices). Produce one with lbic.WriteTraceStream or
+	// `lbicsim -trace-dump`. The server fully validates the stream before
+	// running it.
+	Trace []byte `json:"trace,omitempty"`
 	// Port selects the L1 port organization.
 	Port PortSpec `json:"port"`
-	// Insts is the instruction budget; it must be positive (the kernels are
-	// non-halting steady-state loops, and recording needs a bound).
+	// Insts is the instruction budget; it must be positive for Benchmark and
+	// Pattern runs (the kernels are non-halting steady-state loops, and
+	// recording needs a bound). For Trace runs 0 replays the whole trace.
 	Insts uint64 `json:"insts"`
 	// CPU overrides the Table 1 processor baseline when non-nil.
 	CPU *lbic.CPUConfig `json:"cpu,omitempty"`

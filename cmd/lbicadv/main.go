@@ -1,0 +1,109 @@
+// Command lbicadv searches for adversarial workloads: generator parameter
+// settings that maximize same-bank conflict rate (or minimize IPC) on a
+// chosen port organization. The search is deterministic for a given flag
+// set, so a discovered workload can be re-derived from its meta record.
+//
+//	lbicadv -port bank-4 -insts 60000                 # search, print ranking
+//	lbicadv -port bank-4 -insts 60000 -top 10
+//	lbicadv -port lbic-4x2 -objective ipc             # minimize IPC instead
+//	lbicadv -port bank-4 -out testdata/adversarial -name conflict-storm-bank-4
+//
+// With -out, the best candidate is minted as a regression artifact triple:
+// <name>.lbictrace (the serialized lbic-trace-stream/v1 recording),
+// <name>.report.json (the byte-exact lbic-run-report/v1 of replaying it on
+// the target port), and <name>.meta.json (the parameters, score, and search
+// coordinates that produced it).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"lbic"
+	"lbic/internal/advsearch"
+)
+
+func main() {
+	var (
+		portName  = flag.String("port", "bank-4", "port organization under attack (PortConfig.Key grammar)")
+		insts     = flag.Uint64("insts", 60_000, "per-candidate instruction budget")
+		kinds     = flag.String("kinds", "", "comma-separated generator kinds to search (default: whole catalog)")
+		rounds    = flag.Int("rounds", 4, "mutation rounds after the seed evaluation")
+		seed      = flag.Uint64("seed", 1, "search randomness seed")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "concurrently simulated candidates")
+		objective = flag.String("objective", "rate", "what to optimize: rate (maximize bank-conflict rate) or ipc (minimize IPC)")
+		top       = flag.Int("top", 5, "ranking rows to print")
+		outDir    = flag.String("out", "", "mint the best candidate into this directory (.lbictrace/.report.json/.meta.json)")
+		name      = flag.String("name", "", "artifact base name for -out (default adv-<port>)")
+		quiet     = flag.Bool("q", false, "suppress per-round progress")
+	)
+	flag.Parse()
+
+	port, err := lbic.ParsePortName(*portName)
+	if err != nil {
+		fatal(err)
+	}
+	switch *objective {
+	case "rate", "ipc":
+	default:
+		fatal(fmt.Errorf("unknown -objective %q (want rate or ipc)", *objective))
+	}
+	opt := advsearch.Options{
+		Port:        port,
+		Insts:       *insts,
+		Rounds:      *rounds,
+		Seed:        *seed,
+		Parallel:    *parallel,
+		MinimizeIPC: *objective == "ipc",
+	}
+	if *kinds != "" {
+		opt.Kinds = strings.Split(*kinds, ",")
+	}
+	if !*quiet {
+		opt.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	ranking, err := advsearch.Search(context.Background(), opt)
+	if err != nil {
+		fatal(err)
+	}
+	if len(ranking) == 0 {
+		fatal(fmt.Errorf("no candidate survived evaluation"))
+	}
+
+	n := *top
+	if n > len(ranking) {
+		n = len(ranking)
+	}
+	fmt.Printf("%-4s %-12s %-10s %-8s %s\n", "rank", "conflicts", "rate", "ipc", "params")
+	for i := 0; i < n; i++ {
+		c := ranking[i]
+		fmt.Printf("%-4d %-12d %-10.4f %-8.3f %s\n", i+1, c.Score.Conflicts, c.Score.ConflictRate, c.Score.IPC, c.Params.Key())
+	}
+
+	if *outDir != "" {
+		base := *name
+		if base == "" {
+			base = "adv-" + port.Key()
+		}
+		coords := advsearch.SearchCoords{Seed: *seed, Rounds: *rounds, Objective: *objective, Kinds: *kinds}
+		m, err := advsearch.Mint(*outDir, base, port, *insts, ranking[0], coords)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("minted %s: %q, conflict rate %.4f on %s\n",
+			filepath.Join(*outDir, base+".lbictrace"), m.Params.Key(), m.Score.ConflictRate, m.Port)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lbicadv:", err)
+	os.Exit(1)
+}

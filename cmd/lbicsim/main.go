@@ -9,6 +9,10 @@
 //	lbicsim -bench compress -port lbic-4x2-greedy
 //	lbicsim -bench compress -config run.json
 //	lbicsim -bench compress -port lbic-4x2 -trace-out trace.json   # chrome://tracing
+//	lbicsim -gen zipf -port banked -banks 4                        # synthetic stream
+//	lbicsim -gen '{"kind":"zipf","skew_pct":99}' -port lbic-4x2
+//	lbicsim -bench compress -insts 100000 -trace-dump compress.lbictrace
+//	lbicsim -trace-in compress.lbictrace -port lbic-4x2 -json -
 //	lbicsim -list
 package main
 
@@ -29,6 +33,9 @@ func main() {
 	var (
 		bench      = flag.String("bench", "compress", "benchmark kernel to run")
 		pattern    = flag.String("pattern", "", "run an access-pattern microbenchmark instead of -bench")
+		genSpec    = flag.String("gen", "", "run a synthetic generator stream instead of -bench: a catalog kind (see -list) or an inline GenParams JSON object")
+		traceIn    = flag.String("trace-in", "", "replay a serialized lbic-trace-stream/v1 file instead of -bench (- for stdin); without an explicit -insts the whole trace runs")
+		traceDump  = flag.String("trace-dump", "", "record the selected workload for -insts instructions, write it as lbic-trace-stream/v1 to this file (- for stdout), and exit without simulating")
 		configPath = flag.String("config", "", "load the full simulation Config from this JSON file (flags set explicitly still override)")
 		portKind   = flag.String("port", "ideal", "port organization: ideal | repl | banked | banksq | mpb | lbic, or a full name like lbic-4x2")
 		width      = flag.Int("width", 1, "port count (ideal, repl, mpb ports per bank)")
@@ -56,6 +63,10 @@ func main() {
 		for _, p := range lbic.Patterns() {
 			fmt.Printf("%-16s %s\n", p.Name, p.Description)
 		}
+		fmt.Println("\nsynthetic stream generators (-gen):")
+		for _, g := range lbic.Generators() {
+			fmt.Printf("%-16s %s\n", g.Kind, g.Description)
+		}
 		return
 	}
 
@@ -82,20 +93,71 @@ func main() {
 	if *configPath == "" || set["verify"] {
 		cfg.Verify = *verify
 	}
+	if *traceIn != "" && !set["insts"] && *configPath == "" {
+		// Replaying a serialized trace: the natural budget is the whole trace.
+		cfg.MaxInsts = 0
+	}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
 	port := cfg.Port
 
-	var prog *lbic.Program
-	var err error
-	if *pattern != "" {
-		prog, err = lbic.BuildPattern(*pattern)
-	} else {
-		prog, err = lbic.BuildBenchmark(*bench)
+	exclusive := 0
+	for _, s := range []string{*pattern, *genSpec, *traceIn} {
+		if s != "" {
+			exclusive++
+		}
 	}
-	if err != nil {
-		fatal(err)
+	if exclusive > 1 {
+		fatal(fmt.Errorf("-pattern, -gen and -trace-in are mutually exclusive"))
+	}
+	if *traceDump != "" && *traceIn != "" {
+		fatal(fmt.Errorf("-trace-dump cannot be combined with -trace-in"))
+	}
+
+	var (
+		prog     *lbic.Program
+		genParam lbic.GenParams
+		replay   *lbic.RecordedTrace
+		name     string
+		err      error
+	)
+	switch {
+	case *traceIn != "":
+		var f *os.File
+		if *traceIn == "-" {
+			f = os.Stdin
+		} else if f, err = os.Open(*traceIn); err != nil {
+			fatal(err)
+		}
+		replay, err = lbic.ReadTraceStream(f)
+		if *traceIn != "-" {
+			f.Close()
+		}
+		if err != nil {
+			fatal(fmt.Errorf("reading %s: %w", *traceIn, err))
+		}
+		name = replay.Name()
+	case *genSpec != "":
+		if genParam, err = parseGen(*genSpec); err != nil {
+			fatal(err)
+		}
+		name = genParam.Key()
+	case *pattern != "":
+		if prog, err = lbic.BuildPattern(*pattern); err != nil {
+			fatal(err)
+		}
+		name = prog.Name
+	default:
+		if prog, err = lbic.BuildBenchmark(*bench); err != nil {
+			fatal(err)
+		}
+		name = prog.Name
+	}
+
+	if *traceDump != "" {
+		dumpTrace(*traceDump, prog, genParam, *genSpec != "", cfg.MaxInsts)
+		return
 	}
 
 	var eventSink *lbic.JSONLEventSink
@@ -132,13 +194,21 @@ func main() {
 		spanTrace = lbic.NewRequestTrace()
 		ctx = lbic.WithTrace(ctx, spanTrace)
 	}
-	res, err := lbic.SimulateContext(ctx, prog, cfg)
+	var res lbic.Result
+	switch {
+	case replay != nil:
+		res, err = lbic.SimulateTrace(ctx, replay, cfg)
+	case *genSpec != "":
+		res, err = lbic.SimulateGenerator(ctx, genParam, cfg)
+	default:
+		res, err = lbic.SimulateContext(ctx, prog, cfg)
+	}
 	if spanTrace != nil {
 		f, closeFn, ferr := create(*traceOut)
 		if ferr != nil {
 			fatal(ferr)
 		}
-		if werr := lbic.WriteChromeTrace(f, prog.Name, spanTrace.Snapshot()); werr != nil {
+		if werr := lbic.WriteChromeTrace(f, name, spanTrace.Snapshot()); werr != nil {
 			fatal(werr)
 		}
 		closeFn()
@@ -238,6 +308,49 @@ func parsePort(kind string, width, banks, linePorts int) lbic.PortConfig {
 		fatal(fmt.Errorf("unknown port organization %q", kind))
 	}
 	return port
+}
+
+// parseGen resolves -gen: a catalog kind name, or an inline GenParams JSON
+// object for tuned parameters.
+func parseGen(spec string) (lbic.GenParams, error) {
+	var p lbic.GenParams
+	if strings.HasPrefix(strings.TrimSpace(spec), "{") {
+		if err := json.Unmarshal([]byte(spec), &p); err != nil {
+			return p, fmt.Errorf("parsing -gen: %w", err)
+		}
+	} else {
+		p.Kind = spec
+	}
+	return p.Resolve()
+}
+
+// dumpTrace records the selected workload for insts instructions and writes
+// it as an lbic-trace-stream/v1 file.
+func dumpTrace(path string, prog *lbic.Program, gp lbic.GenParams, isGen bool, insts uint64) {
+	if insts == 0 {
+		fatal(fmt.Errorf("-trace-dump needs a positive -insts budget"))
+	}
+	var rt *lbic.RecordedTrace
+	var err error
+	if isGen {
+		rt, err = lbic.RecordGeneratorTrace(gp, insts)
+	} else {
+		rt, err = lbic.RecordBenchmarkTrace(prog, insts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	f, closeFn, err := create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := lbic.WriteTraceStream(f, rt); err != nil {
+		fatal(err)
+	}
+	closeFn()
+	if path != "-" {
+		fmt.Printf("wrote %s: %q, %d insts, %d trace bytes\n", path, rt.Name(), rt.Len(), rt.SizeBytes())
+	}
 }
 
 func render(t *lbic.Table) {

@@ -41,6 +41,7 @@ func main() {
 		figure     = flag.Int("figure", 0, "regenerate figure 3")
 		all        = flag.Bool("all", false, "regenerate every table and figure")
 		ablations  = flag.Bool("ablations", false, "run the design-choice ablation studies")
+		workloads  = flag.Bool("workloads", false, "run the modern-workload generator matrices")
 		insts      = flag.Uint64("insts", experiments.DefaultInsts, "instructions simulated per run")
 		markdown   = flag.Bool("markdown", false, "emit Markdown tables")
 		jsonOut    = flag.Bool("json", false, "emit JSON tables")
@@ -61,7 +62,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if !*all && !*ablations && *table == 0 && *figure == 0 {
+	if !*all && !*ablations && !*workloads && *table == 0 && *figure == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -215,6 +216,18 @@ func main() {
 			fatal(err)
 		}
 		render(experiments.Table4Table(d))
+	}
+	if *all || *workloads {
+		note("workload matrices (2 tables)")
+		for _, gen := range []func(*experiments.Sweep) (*stats.Table, error){
+			experiments.WorkloadMatrix, experiments.WorkloadConflicts,
+		} {
+			t, err := gen(sw)
+			if err != nil {
+				fatal(err)
+			}
+			render(t)
+		}
 	}
 	if *ablations {
 		note("ablation studies")

@@ -1,0 +1,287 @@
+// Package advsearch hunts for adversarial workloads: generator parameter
+// settings that maximize same-bank conflict pressure (or minimize IPC) on a
+// chosen cache port organization. It is a seeded mutation/hill-climbing
+// loop over the internal/workload generator family — the catalog defaults
+// seed a population, each round simulates every not-yet-scored candidate,
+// the best survivors are perturbed field-by-field via the GenField
+// descriptor table, and after a fixed number of rounds the full scored
+// population is returned ranked. Everything is deterministic for a given
+// Options: the same search finds the same winners on every machine, which
+// is what lets discovered workloads become checked-in regression artifacts
+// (testdata/adversarial).
+package advsearch
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"lbic"
+	"lbic/internal/runner"
+)
+
+// Score is one candidate's measured behaviour on the target port
+// organization, extracted from the run's lbic-run-report/v1 metrics.
+type Score struct {
+	// Conflicts is the total same-bank conflict count ("port.bank_conflicts").
+	Conflicts uint64 `json:"conflicts"`
+	// Accesses is the total granted bank accesses ("port.bank_accesses").
+	Accesses uint64 `json:"accesses"`
+	// ConflictRate is Conflicts/Accesses, the primary objective.
+	ConflictRate float64 `json:"conflict_rate"`
+	IPC          float64 `json:"ipc"`
+	Cycles       uint64  `json:"cycles"`
+}
+
+// Candidate is one scored parameter setting.
+type Candidate struct {
+	Params lbic.GenParams `json:"params"`
+	Score  Score          `json:"score"`
+}
+
+// Fitness is the scalar the search maximizes: the conflict rate, or -IPC
+// when the objective is minimizing IPC.
+func (c Candidate) Fitness(minimizeIPC bool) float64 {
+	if minimizeIPC {
+		return -c.Score.IPC
+	}
+	return c.Score.ConflictRate
+}
+
+// Evaluator scores one candidate. The default simulates the generator on
+// the target port; tests substitute cheap synthetic landscapes.
+type Evaluator func(ctx context.Context, p lbic.GenParams) (Score, error)
+
+// Options configures a search. The zero value of every field takes the
+// documented default.
+type Options struct {
+	// Port is the organization under attack (required).
+	Port lbic.PortConfig
+	// Insts is the per-candidate simulation budget (required).
+	Insts uint64
+	// Kinds restricts the searched generator kinds; empty means the whole
+	// catalog.
+	Kinds []string
+	// Rounds is the number of mutation rounds after the seed evaluation
+	// (default 4).
+	Rounds int
+	// Survivors is how many top candidates breed each round (default 3).
+	Survivors int
+	// MutantsPerSurvivor is the brood size (default 4).
+	MutantsPerSurvivor int
+	// Seed drives all mutation randomness (default 1).
+	Seed uint64
+	// Parallel bounds concurrently simulated candidates (default 1, which
+	// is also the deterministic-log choice; scores are deterministic at any
+	// parallelism).
+	Parallel int
+	// MinimizeIPC switches the objective from maximizing the conflict rate
+	// to minimizing IPC.
+	MinimizeIPC bool
+	// Evaluate overrides the simulation-backed evaluator (tests).
+	Evaluate Evaluator
+	// Log, when non-nil, receives one line per round.
+	Log func(format string, args ...any)
+}
+
+func (opt *Options) fill() error {
+	if opt.Insts == 0 && opt.Evaluate == nil {
+		return fmt.Errorf("advsearch: Insts must be positive")
+	}
+	if len(opt.Kinds) == 0 {
+		opt.Kinds = lbic.GeneratorKinds()
+	}
+	for _, k := range opt.Kinds {
+		if len(lbic.GeneratorFields(k)) == 0 {
+			return fmt.Errorf("advsearch: unknown generator kind %q", k)
+		}
+	}
+	if opt.Rounds == 0 {
+		opt.Rounds = 4
+	}
+	if opt.Survivors == 0 {
+		opt.Survivors = 3
+	}
+	if opt.MutantsPerSurvivor == 0 {
+		opt.MutantsPerSurvivor = 4
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.Parallel == 0 {
+		opt.Parallel = 1
+	}
+	if opt.Evaluate == nil {
+		port, insts := opt.Port, opt.Insts
+		opt.Evaluate = func(ctx context.Context, p lbic.GenParams) (Score, error) {
+			cfg := lbic.DefaultConfig()
+			cfg.Port = port
+			cfg.MaxInsts = insts
+			res, err := lbic.SimulateGenerator(ctx, p, cfg)
+			if err != nil {
+				return Score{}, err
+			}
+			return Score{
+				Conflicts:    res.PortConflicts(),
+				Accesses:     res.PortAccesses(),
+				ConflictRate: res.PortConflictRate(),
+				IPC:          res.IPC,
+				Cycles:       res.Cycles,
+			}, nil
+		}
+	}
+	if opt.Log == nil {
+		opt.Log = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Search runs the hill-climbing loop and returns every evaluated candidate,
+// best first. A candidate whose evaluation fails is dropped (its parameters
+// are remembered so it is not retried); ctx cancellation returns the
+// partial ranking with the context's error.
+func Search(ctx context.Context, opt Options) ([]Candidate, error) {
+	if err := opt.fill(); err != nil {
+		return nil, err
+	}
+	rng := prng{s: opt.Seed*0x9E3779B97F4A7C15 + 1}
+
+	scored := make(map[string]Candidate)
+	attempted := make(map[string]bool)
+
+	// Seed population: the catalog defaults of every searched kind, plus one
+	// brood of mutants each so round 0 already explores.
+	var pop []lbic.GenParams
+	for _, kind := range opt.Kinds {
+		base, err := lbic.DefaultGeneratorParams(kind)
+		if err != nil {
+			return nil, err
+		}
+		pop = append(pop, base)
+		for i := 0; i < opt.MutantsPerSurvivor; i++ {
+			pop = append(pop, mutate(&rng, base))
+		}
+	}
+
+	for round := 0; round <= opt.Rounds; round++ {
+		var fresh []lbic.GenParams
+		for _, p := range pop {
+			if k := p.Key(); !attempted[k] {
+				attempted[k] = true
+				fresh = append(fresh, p)
+			}
+		}
+		if len(fresh) == 0 {
+			break
+		}
+		cells := make([]runner.Cell[Score], len(fresh))
+		for i, p := range fresh {
+			p := p
+			cells[i] = runner.Cell[Score]{
+				Key: fmt.Sprintf("adv/%s/%s/i%d", p.Key(), opt.Port.Key(), opt.Insts),
+				Run: func(ctx context.Context) (Score, error) { return opt.Evaluate(ctx, p) },
+			}
+		}
+		out, err := runner.Run(ctx, cells, runner.Options{Jobs: opt.Parallel, KeepGoing: true})
+		for i, r := range out.Results {
+			if r.Err == nil {
+				scored[fresh[i].Key()] = Candidate{Params: fresh[i], Score: r.Value}
+			} else {
+				opt.Log("advsearch: %s failed: %v", fresh[i].Key(), r.Err)
+			}
+		}
+		if err != nil {
+			return ranked(scored, opt.MinimizeIPC), err
+		}
+
+		top := ranked(scored, opt.MinimizeIPC)
+		if len(top) > opt.Survivors {
+			top = top[:opt.Survivors]
+		}
+		if len(top) > 0 {
+			b := top[0]
+			opt.Log("round %d: %d evaluated, best %s fitness %.4f (rate %.4f, ipc %.3f)",
+				round, len(scored), b.Params.Key(), b.Fitness(opt.MinimizeIPC), b.Score.ConflictRate, b.Score.IPC)
+		}
+		pop = pop[:0]
+		for _, c := range top {
+			for i := 0; i < opt.MutantsPerSurvivor; i++ {
+				pop = append(pop, mutate(&rng, c.Params))
+			}
+		}
+	}
+	return ranked(scored, opt.MinimizeIPC), nil
+}
+
+// ranked sorts the scored population best-first, tie-breaking on the
+// canonical key so the order is fully deterministic.
+func ranked(scored map[string]Candidate, minimizeIPC bool) []Candidate {
+	out := make([]Candidate, 0, len(scored))
+	for _, c := range scored {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		fi, fj := out[i].Fitness(minimizeIPC), out[j].Fitness(minimizeIPC)
+		if fi != fj {
+			return fi > fj
+		}
+		return out[i].Params.Key() < out[j].Params.Key()
+	})
+	return out
+}
+
+// mutate perturbs one or two fields of a resolved parameter set, snapping
+// to each field's step and range; occasionally it reseeds the stream's
+// randomness instead. Mutation never produces an invalid setting.
+func mutate(rng *prng, p lbic.GenParams) lbic.GenParams {
+	q, err := p.Resolve()
+	if err != nil {
+		// Unreachable for catalog-derived parents; fall back to defaults.
+		q, _ = lbic.DefaultGeneratorParams(p.Kind)
+	}
+	fields := lbic.GeneratorFields(q.Kind)
+	nMut := 1 + rng.n(2)
+	for i := 0; i < nMut; i++ {
+		if rng.n(8) == 0 {
+			q.Seed = rng.next()%1_000_000 + 1
+			continue
+		}
+		f := fields[rng.n(len(fields))]
+		cur := f.Get(&q)
+		var next int64
+		switch rng.n(4) {
+		case 0:
+			next = cur * 2
+		case 1:
+			next = cur / 2
+		case 2:
+			next = cur + f.Step<<rng.n(5)
+		default:
+			next = cur - f.Step<<rng.n(5)
+		}
+		if next > f.Max {
+			next = f.Max
+		}
+		if f.Step > 1 {
+			next -= next % f.Step
+		}
+		if next < f.Min {
+			next = f.Min
+		}
+		f.Set(&q, next)
+	}
+	return q
+}
+
+// prng is the same xorshift64* the generators use: deterministic and
+// platform-independent.
+type prng struct{ s uint64 }
+
+func (r *prng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+func (r *prng) n(n int) int { return int(r.next() % uint64(n)) }

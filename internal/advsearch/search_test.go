@@ -1,0 +1,146 @@
+package advsearch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"lbic"
+)
+
+// landscape is a cheap synthetic evaluator: fitness grows with mem_pct, so
+// the search should climb it without running any simulations.
+func landscape(calls *sync.Map) Evaluator {
+	return func(_ context.Context, p lbic.GenParams) (Score, error) {
+		rp, err := p.Resolve()
+		if err != nil {
+			return Score{}, err
+		}
+		if _, dup := calls.LoadOrStore(rp.Key(), true); dup {
+			return Score{}, errors.New("evaluated the same candidate twice")
+		}
+		rate := float64(rp.MemPct) / 100
+		return Score{ConflictRate: rate, Conflicts: uint64(rp.MemPct), Accesses: 100, IPC: 8 - rate}, nil
+	}
+}
+
+func TestSearchClimbsAndDedupes(t *testing.T) {
+	var calls sync.Map
+	got, err := Search(context.Background(), Options{
+		Kinds:    []string{"zipf", "chase"},
+		Evaluate: landscape(&calls),
+		Rounds:   6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no candidates scored")
+	}
+	base, err := lbic.DefaultGeneratorParams("zipf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseScore := float64(base.MemPct) / 100
+	if got[0].Score.ConflictRate <= baseScore {
+		t.Errorf("best fitness %.3f did not improve on the catalog default %.3f", got[0].Score.ConflictRate, baseScore)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Fitness(false) < got[i].Fitness(false) {
+			t.Fatalf("ranking not sorted at %d", i)
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	run := func() []Candidate {
+		var calls sync.Map
+		got, err := Search(context.Background(), Options{
+			Kinds:    []string{"hashjoin"},
+			Evaluate: landscape(&calls),
+			Rounds:   4,
+			Parallel: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs evaluated %d vs %d candidates", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Params != b[i].Params || a[i].Score != b[i].Score {
+			t.Fatalf("runs diverge at rank %d:\n %+v\n %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSearchMinimizeIPCObjective(t *testing.T) {
+	var calls sync.Map
+	got, err := Search(context.Background(), Options{
+		Kinds:       []string{"gcsweep"},
+		Evaluate:    landscape(&calls),
+		Rounds:      3,
+		MinimizeIPC: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Score.IPC > got[i].Score.IPC {
+			t.Fatalf("minimize-IPC ranking not ascending in IPC at %d", i)
+		}
+	}
+}
+
+func TestSearchSurvivesFailingCandidates(t *testing.T) {
+	n := 0
+	got, err := Search(context.Background(), Options{
+		Kinds: []string{"zipf"},
+		Evaluate: func(_ context.Context, p lbic.GenParams) (Score, error) {
+			n++
+			if n%3 == 0 {
+				return Score{}, errors.New("synthetic failure")
+			}
+			rp, _ := p.Resolve()
+			return Score{ConflictRate: float64(rp.SkewPct) / 100}, nil
+		},
+		Rounds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("every candidate dropped")
+	}
+}
+
+func TestSearchRejectsBadOptions(t *testing.T) {
+	if _, err := Search(context.Background(), Options{Port: lbic.BankedPort(4)}); err == nil {
+		t.Error("accepted zero Insts without an Evaluate override")
+	}
+	if _, err := Search(context.Background(), Options{Kinds: []string{"nope"}, Insts: 1}); err == nil {
+		t.Error("accepted unknown kind")
+	}
+}
+
+// TestMutateAlwaysValid hammers the mutator: every mutant must resolve
+// cleanly, for every kind.
+func TestMutateAlwaysValid(t *testing.T) {
+	rng := prng{s: 7}
+	for _, kind := range lbic.GeneratorKinds() {
+		p, err := lbic.DefaultGeneratorParams(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000; i++ {
+			p = mutate(&rng, p)
+			if _, err := p.Resolve(); err != nil {
+				t.Fatalf("%s: mutant %d invalid: %v (%+v)", kind, i, err, p)
+			}
+		}
+	}
+}

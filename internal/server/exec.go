@@ -18,9 +18,11 @@ import (
 // a full configuration, with the stable key the result cache, singleflight,
 // and journal-style identities all share.
 type cellSpec struct {
-	// benchmark or pattern names the program; exactly one is set.
+	// benchmark or pattern names the program, or trace holds an uploaded
+	// recorded stream; exactly one is set.
 	benchmark string
 	pattern   string
+	trace     *lbic.RecordedTrace
 	port      lbic.PortConfig
 	insts     uint64
 	cpu       *lbic.CPUConfig
@@ -30,10 +32,25 @@ type cellSpec struct {
 
 // progToken is the program's name component of the cell key.
 func (sp *cellSpec) progToken() string {
-	if sp.pattern != "" {
+	switch {
+	case sp.pattern != "":
 		return "pat:" + sp.pattern
+	case sp.trace != nil:
+		return "trace:" + keyToken(sp.trace.Name())
 	}
 	return sp.benchmark
+}
+
+// keyToken makes an arbitrary stream name safe for cell keys and response
+// headers: any byte outside printable ASCII (or a space) becomes '_'.
+func keyToken(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		if c <= ' ' || c > '~' {
+			b[i] = '_'
+		}
+	}
+	return string(b)
 }
 
 // compileSpec validates one (program, port, budget) point against the
@@ -68,20 +85,71 @@ func (s *Server) compileSpec(benchmark, pattern string, port client.PortSpec, in
 		return sp, err
 	}
 	sp.key = fmt.Sprintf("sim/%s/%s/i%d", sp.progToken(), p.Key(), insts)
-	if cpu != nil || mem != nil {
-		// Overrides are not in the readable key; a hash of their JSON keeps
-		// distinct configurations from colliding in the caches.
-		h := fnv.New64a()
-		enc, err := json.Marshal(struct {
-			CPU *lbic.CPUConfig `json:"cpu,omitempty"`
-			Mem *lbic.MemParams `json:"mem,omitempty"`
-		}{cpu, mem})
-		if err != nil {
-			return sp, err
-		}
-		h.Write(enc)
-		sp.key += fmt.Sprintf("/c%x", h.Sum64())
+	tok, err := overrideToken(cpu, mem)
+	if err != nil {
+		return sp, err
 	}
+	sp.key += tok
+	return sp, nil
+}
+
+// overrideToken hashes CPU/memory baseline overrides into a key suffix.
+// Overrides are not in the readable key; a hash of their JSON keeps distinct
+// configurations from colliding in the caches.
+func overrideToken(cpu *lbic.CPUConfig, mem *lbic.MemParams) (string, error) {
+	if cpu == nil && mem == nil {
+		return "", nil
+	}
+	h := fnv.New64a()
+	enc, err := json.Marshal(struct {
+		CPU *lbic.CPUConfig `json:"cpu,omitempty"`
+		Mem *lbic.MemParams `json:"mem,omitempty"`
+	}{cpu, mem})
+	if err != nil {
+		return "", err
+	}
+	h.Write(enc)
+	return fmt.Sprintf("/c%x", h.Sum64()), nil
+}
+
+// compileTraceSpec validates one uploaded-trace cell. The stream must parse
+// and validate in full — header bounds, framing, CRC — before any work is
+// admitted. insts of 0 replays the whole trace; the key's budget token is
+// the effective (clamped) instruction count, so "replay everything" shares
+// a cache entry with an explicit full-length budget. The key also carries a
+// hash of the raw upload: two traces that share a name but differ in
+// content never collide.
+func (s *Server) compileTraceSpec(raw []byte, port client.PortSpec, insts uint64, cpu *lbic.CPUConfig, mem *lbic.MemParams) (cellSpec, error) {
+	rt, err := lbic.ReadTraceStream(bytes.NewReader(raw))
+	if err != nil {
+		return cellSpec{}, fmt.Errorf("invalid trace upload: %v", err)
+	}
+	sp := cellSpec{trace: rt, insts: insts, cpu: cpu, mem: mem}
+	p, err := port.Resolve()
+	if err != nil {
+		return sp, err
+	}
+	sp.port = p
+	cfg := lbic.DefaultConfig()
+	cfg.Port = p
+	cfg.MaxInsts = insts
+	cfg.CPU = cpu
+	cfg.Mem = mem
+	if err := cfg.Validate(); err != nil {
+		return sp, err
+	}
+	eff := rt.Len()
+	if insts > 0 && insts < eff {
+		eff = insts
+	}
+	h := fnv.New64a()
+	h.Write(raw)
+	sp.key = fmt.Sprintf("sim/%s@%x/%s/i%d", sp.progToken(), h.Sum64(), p.Key(), eff)
+	tok, err := overrideToken(cpu, mem)
+	if err != nil {
+		return sp, err
+	}
+	sp.key += tok
 	return sp, nil
 }
 
@@ -206,17 +274,25 @@ func (s *Server) simulateCell(ctx context.Context, sp cellSpec) ([]byte, error) 
 	defer func() { <-s.sem }()
 
 	cell := runner.Cell[[]byte]{Key: sp.key, Run: func(ctx context.Context) ([]byte, error) {
-		prog, err := s.program(&sp)
-		if err != nil {
-			return nil, err
-		}
 		cfg := lbic.DefaultConfig()
 		cfg.Port = sp.port
 		cfg.MaxInsts = sp.insts
 		cfg.CPU = sp.cpu
 		cfg.Mem = sp.mem
-		cfg.Trace = s.traces
-		res, err := lbic.SimulateContext(ctx, prog, cfg)
+		var res lbic.Result
+		var err error
+		if sp.trace != nil {
+			// An uploaded trace is already a recording; the shared trace
+			// cache has nothing to add.
+			res, err = lbic.SimulateTrace(ctx, sp.trace, cfg)
+		} else {
+			var prog *lbic.Program
+			if prog, err = s.program(&sp); err != nil {
+				return nil, err
+			}
+			cfg.Trace = s.traces
+			res, err = lbic.SimulateContext(ctx, prog, cfg)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -371,9 +371,10 @@ func (s *Server) rejectAdmission(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusTooManyRequests, err.Error())
 }
 
-// decodeRequest strictly decodes a schema-versioned request body.
-func decodeRequest(r *http.Request, v any, schema *string) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+// decodeRequest strictly decodes a schema-versioned request body of at most
+// limit bytes.
+func decodeRequest(r *http.Request, v any, schema *string, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("invalid request body: %v", err)
@@ -388,12 +389,25 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.mRequests.Add(1)
 	s.mSimRequests.Add(1)
 	var req client.SimulateRequest
-	if err := decodeRequest(r, &req, &req.Schema); err != nil {
+	// Trace uploads ride inside the JSON body, so /v1/simulate accepts a
+	// larger request than the name-only endpoints.
+	if err := decodeRequest(r, &req, &req.Schema, 8<<20); err != nil {
 		s.mBadRequests.Add(1)
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	sp, err := s.compileSpec(req.Benchmark, req.Pattern, req.Port, req.Insts, req.CPU, req.Mem)
+	var sp cellSpec
+	var err error
+	if len(req.Trace) > 0 {
+		if req.Benchmark != "" || req.Pattern != "" {
+			s.mBadRequests.Add(1)
+			writeError(w, http.StatusBadRequest, "trace is mutually exclusive with benchmark and pattern")
+			return
+		}
+		sp, err = s.compileTraceSpec(req.Trace, req.Port, req.Insts, req.CPU, req.Mem)
+	} else {
+		sp, err = s.compileSpec(req.Benchmark, req.Pattern, req.Port, req.Insts, req.CPU, req.Mem)
+	}
 	if err != nil {
 		s.mBadRequests.Add(1)
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -425,7 +439,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.mRequests.Add(1)
 	s.mSweepRequests.Add(1)
 	var req client.SweepRequest
-	if err := decodeRequest(r, &req, &req.Schema); err != nil {
+	if err := decodeRequest(r, &req, &req.Schema, 1<<20); err != nil {
 		s.mBadRequests.Add(1)
 		writeError(w, http.StatusBadRequest, err.Error())
 		return

@@ -79,6 +79,80 @@ func TestServedSimulateByteIdentical(t *testing.T) {
 	}
 }
 
+// TestSimulateTraceUpload exercises the /v1/simulate uploaded-trace path:
+// the served report must be byte-identical to replaying the same stream
+// in-process, and a second upload of the same bytes must hit the result
+// cache.
+func TestSimulateTraceUpload(t *testing.T) {
+	_, c := newTestServer(t, server.Options{})
+	ctx := context.Background()
+
+	rt, err := lbic.RecordGeneratorTrace(lbic.GenParams{Kind: "zipf"}, testInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc bytes.Buffer
+	if err := lbic.WriteTraceStream(&enc, rt); err != nil {
+		t.Fatal(err)
+	}
+
+	req := client.SimulateRequest{Trace: enc.Bytes(), Port: client.Port("lbic-4x2")}
+	served, err := c.Simulate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	port, err := lbic.ParsePortName("lbic-4x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lbic.DefaultConfig()
+	cfg.Port = port
+	cfg.MaxInsts = 0 // whole trace
+	res, err := lbic.SimulateTrace(ctx, rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if err := lbic.NewReport(res).WriteJSON(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, direct.Bytes()) {
+		t.Fatalf("served trace report (%d bytes) differs from direct replay (%d bytes)", len(served), direct.Len())
+	}
+	if got := res.Benchmark; got != rt.Name() {
+		t.Fatalf("replay Benchmark = %q, want the stream name %q", got, rt.Name())
+	}
+
+	// Same upload again: the result cache must serve it.
+	before := counter(t, c, "resultcache.hits")
+	if _, err := c.Simulate(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if after := counter(t, c, "resultcache.hits"); after != before+1 {
+		t.Errorf("result cache hits %d -> %d, want +1", before, after)
+	}
+
+	// Hostile uploads are rejected up front, never simulated.
+	bad := bytes.Clone(enc.Bytes())
+	bad[len(bad)-1] ^= 0x01 // break the CRC footer
+	for name, trace := range map[string][]byte{
+		"corrupt": bad,
+		"garbage": []byte("not a trace"),
+	} {
+		_, err := c.Simulate(ctx, client.SimulateRequest{Trace: trace, Port: client.Port("true-1")})
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s upload: err = %v, want HTTP 400", name, err)
+		}
+	}
+	_, err = c.Simulate(ctx, client.SimulateRequest{Trace: enc.Bytes(), Benchmark: "compress", Port: client.Port("true-1"), Insts: 1000})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Errorf("trace+benchmark: err = %v, want HTTP 400", err)
+	}
+}
+
 func TestSimulateValidation(t *testing.T) {
 	_, c := newTestServer(t, server.Options{})
 	ctx := context.Background()

@@ -40,9 +40,10 @@ const staticInstBytes = 16 // accounting size of one interned tuple
 // Trace is an immutable recorded dynamic instruction stream. It is safe for
 // concurrent replay: readers carry all mutable state.
 type Trace struct {
-	insts []staticInst // interned static tuples, first-seen order
-	data  []byte       // per-instruction encoded stream
-	n     uint64       // dynamic instruction count
+	insts    []staticInst // interned static tuples, first-seen order
+	data     []byte       // per-instruction encoded stream
+	n        uint64       // dynamic instruction count
+	noValues bool         // memory value bytes elided; replay yields Value 0
 }
 
 // Len returns the number of recorded dynamic instructions.
@@ -54,12 +55,29 @@ func (t *Trace) SizeBytes() int64 {
 	return int64(len(t.data)) + int64(len(t.insts))*staticInstBytes
 }
 
+// RecordOptions tunes Record. The zero value matches the historical
+// behavior: unbounded recording with memory values preserved.
+type RecordOptions struct {
+	// MaxInsts bounds the recording; 0 records until the stream ends.
+	MaxInsts uint64
+	// OmitValues drops memory value bytes from the encoding. Replay then
+	// yields Value 0 for every access — fine for timing-only streams
+	// (the synthetic generators), unacceptable for -verify oracle runs.
+	OmitValues bool
+}
+
 // Record drains up to max instructions from s (all of them when max is 0)
 // into a new Trace. The timing core never pulls more than its MaxInsts
 // budget from a stream, so recording min(len, max) instructions replays
 // identically to the live stream under the same budget.
 func Record(s trace.Stream, max uint64) *Trace {
-	t := &Trace{}
+	return RecordWith(s, RecordOptions{MaxInsts: max})
+}
+
+// RecordWith is Record with explicit options.
+func RecordWith(s trace.Stream, opt RecordOptions) *Trace {
+	max := opt.MaxInsts
+	t := &Trace{noValues: opt.OmitValues}
 	ids := make(map[staticInst]uint32)
 	var (
 		d        trace.Dyn
@@ -90,8 +108,10 @@ func Record(s trace.Stream, max uint64) *Trace {
 			delta := int64(d.Addr - prevAddr)
 			t.data = appendUvarint(t.data, uint64(delta<<1)^uint64(delta>>63))
 			prevAddr = d.Addr
-			for i := uint8(0); i < si.size; i++ {
-				t.data = append(t.data, byte(d.Value>>(8*i)))
+			if !t.noValues {
+				for i := uint8(0); i < si.size; i++ {
+					t.data = append(t.data, byte(d.Value>>(8*i)))
+				}
 			}
 		}
 		t.n++
@@ -156,12 +176,14 @@ func (r *Reader) Next(d *trace.Dyn) bool {
 		r.prevAddr += uint64(int64(z>>1) ^ -int64(z&1))
 		d.Addr = r.prevAddr
 		d.Size = si.size
-		var v uint64
-		for i := uint8(0); i < si.size; i++ {
-			v |= uint64(b[pos]) << (8 * i)
-			pos++
+		if !t.noValues {
+			var v uint64
+			for i := uint8(0); i < si.size; i++ {
+				v |= uint64(b[pos]) << (8 * i)
+				pos++
+			}
+			d.Value = v
 		}
-		d.Value = v
 	}
 	r.pos = pos
 	return true

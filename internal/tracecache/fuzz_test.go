@@ -1,0 +1,78 @@
+package tracecache
+
+import (
+	"bytes"
+	"testing"
+
+	"lbic/internal/trace"
+)
+
+// FuzzTraceStreamDecode hammers the external-format parser with untrusted
+// bytes. The invariants: ReadStream never panics and never allocates beyond
+// the input's own size class; any input it accepts replays exactly Len()
+// instructions and survives a write→read round trip that preserves the
+// replayed stream.
+func FuzzTraceStreamDecode(f *testing.F) {
+	valid := func(omit bool) []byte {
+		var buf bytes.Buffer
+		tr := RecordWith(trace.NewSliceStream(testDyns()), RecordOptions{OmitValues: omit})
+		if err := WriteStream(&buf, "fuzz-seed", tr); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	full := valid(false)
+	f.Add(full)
+	f.Add(valid(true))
+	f.Add(full[:len(full)/2])                                // truncated mid-stream
+	f.Add([]byte("LBICTS1\n"))                               // magic only
+	f.Add(append(bytes.Clone(full), 0xff))                   // trailing garbage
+	f.Add(bytes.Repeat([]byte{0x80}, 64))                    // unterminated varints
+	f.Add([]byte("LBICTS1\n\x00\x00\x00\x00\xff\xff\xff\t")) // lying lengths
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		name, tr, err := ReadStream(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted: replay must terminate after exactly Len() instructions.
+		r := tr.NewReader()
+		var d trace.Dyn
+		var n uint64
+		for r.Next(&d) {
+			n++
+			if n > tr.Len() {
+				t.Fatalf("replay overran Len()=%d", tr.Len())
+			}
+		}
+		if n != tr.Len() {
+			t.Fatalf("replay yielded %d instructions, Len()=%d", n, tr.Len())
+		}
+		// Round trip: re-encode, re-decode, compare replays.
+		var buf bytes.Buffer
+		if err := WriteStream(&buf, name, tr); err != nil {
+			t.Fatalf("re-encode of accepted stream failed: %v", err)
+		}
+		name2, tr2, err := ReadStream(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded stream failed: %v", err)
+		}
+		if name2 != name || tr2.Len() != tr.Len() || tr2.ValuesElided() != tr.ValuesElided() {
+			t.Fatalf("round trip changed header: %q/%d/%v vs %q/%d/%v",
+				name, tr.Len(), tr.ValuesElided(), name2, tr2.Len(), tr2.ValuesElided())
+		}
+		ra, rb := tr.NewReader(), tr2.NewReader()
+		var da, db trace.Dyn
+		for ra.Next(&da) {
+			if !rb.Next(&db) {
+				t.Fatal("round-tripped replay ended early")
+			}
+			if da != db {
+				t.Fatalf("round-tripped replay differs at seq %d:\n a %+v\n b %+v", da.Seq, da, db)
+			}
+		}
+		if rb.Next(&db) {
+			t.Fatal("round-tripped replay ran long")
+		}
+	})
+}

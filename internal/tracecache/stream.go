@@ -1,0 +1,392 @@
+// External trace interchange: lbic-trace-stream/v1.
+//
+// A stream file is the in-memory Trace encoding plus a self-describing
+// header, so address traces can be written by one process (or one machine)
+// and replayed by another. The layout is byte-exact and versioned; see
+// WORKLOADS.md for the normative specification. All multi-byte integers are
+// unsigned LEB128 varints unless noted.
+//
+//	magic    8 bytes  "LBICTS1\n"
+//	flags    uvarint  bit 0: memory value bytes elided (replay yields 0)
+//	name     uvarint length (<= 255) + UTF-8 bytes, no control characters
+//	statics  uvarint count (<= 1<<20), then per static instruction:
+//	           pc uvarint (<= MaxInt32), then 7 bytes:
+//	           op, class, src1, src2, dst, size, mem
+//	n        uvarint  dynamic instruction count (<= len(data))
+//	datalen  uvarint  byte length of the data section (<= 1<<30)
+//	data     the per-instruction stream: uvarint static ID; for memory
+//	         ops a zigzag-varint address delta, then (unless values are
+//	         elided) size value bytes, little-endian
+//	crc      4 bytes  little-endian IEEE CRC-32 of everything above
+//
+// ReadStream treats its input as untrusted: every field is bounds-checked,
+// the data section is fully validated (varint termination, static IDs in
+// range, exactly n instructions consuming exactly datalen bytes) before a
+// Reader ever touches it, and memory use is proportional to the bytes
+// actually supplied, never to a length a hostile header claims.
+
+package tracecache
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"unicode/utf8"
+
+	"lbic/internal/isa"
+)
+
+// StreamSchema names the external trace format implemented by WriteStream
+// and ReadStream.
+const StreamSchema = "lbic-trace-stream/v1"
+
+const (
+	streamMagic   = "LBICTS1\n"
+	flagNoValues  = 1 << 0
+	maxNameLen    = 255
+	maxStatics    = 1 << 20
+	maxDataLen    = 1 << 30
+	maxVarintLen  = 10
+	staticRecTail = 7 // fixed bytes after the pc varint
+)
+
+// ErrBadStream wraps every ReadStream parse failure.
+var ErrBadStream = errors.New("malformed " + StreamSchema)
+
+func badStream(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadStream, fmt.Sprintf(format, args...))
+}
+
+// ValuesElided reports whether memory value bytes were dropped at record
+// time; replaying such a trace yields Value 0 for every access.
+func (t *Trace) ValuesElided() bool { return t.noValues }
+
+// checkName enforces the header name constraints shared by reader and
+// writer: short, valid UTF-8, no control characters.
+func checkName(name string) error {
+	if len(name) > maxNameLen {
+		return fmt.Errorf("stream name %d bytes, max %d", len(name), maxNameLen)
+	}
+	if !utf8.ValidString(name) {
+		return errors.New("stream name is not valid UTF-8")
+	}
+	for _, r := range name {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("stream name contains control character %q", r)
+		}
+	}
+	return nil
+}
+
+// checkStatic enforces per-static-instruction consistency: a defined opcode,
+// the class the opTable assigns it, in-range registers, and a size/mem pair
+// derived from the opcode. This is what makes a decoded trace safe to hand
+// to the timing core.
+func checkStatic(si staticInst) error {
+	if !si.op.Valid() {
+		return fmt.Errorf("undefined opcode %d", uint8(si.op))
+	}
+	if si.class != si.op.ClassOf() {
+		return fmt.Errorf("op %v declares class %d, want %d", si.op, si.class, si.op.ClassOf())
+	}
+	if si.src1 >= isa.NumRegs || si.src2 >= isa.NumRegs || si.dst >= isa.NumRegs {
+		return fmt.Errorf("op %v has out-of-range register", si.op)
+	}
+	mem := si.op.IsMem()
+	if si.mem != mem {
+		return fmt.Errorf("op %v mem flag %v, want %v", si.op, si.mem, mem)
+	}
+	wantSize := uint8(0)
+	if mem {
+		wantSize = uint8(si.op.MemSize())
+	}
+	if si.size != wantSize {
+		return fmt.Errorf("op %v size %d, want %d", si.op, si.size, wantSize)
+	}
+	if si.pc < 0 {
+		return fmt.Errorf("op %v negative pc %d", si.op, si.pc)
+	}
+	return nil
+}
+
+// WriteStream writes t, labeled name, in the lbic-trace-stream/v1 format.
+// It fails rather than emit a file ReadStream would reject.
+func WriteStream(w io.Writer, name string, t *Trace) error {
+	if err := checkName(name); err != nil {
+		return fmt.Errorf("tracecache: %w", err)
+	}
+	for i, si := range t.insts {
+		if err := checkStatic(si); err != nil {
+			return fmt.Errorf("tracecache: static %d not encodable: %w", i, err)
+		}
+	}
+	if len(t.data) > maxDataLen {
+		return fmt.Errorf("tracecache: data section %d bytes exceeds format limit %d", len(t.data), maxDataLen)
+	}
+
+	hdr := make([]byte, 0, 64+len(name)+len(t.insts)*12)
+	hdr = append(hdr, streamMagic...)
+	var flags uint64
+	if t.noValues {
+		flags |= flagNoValues
+	}
+	hdr = appendUvarint(hdr, flags)
+	hdr = appendUvarint(hdr, uint64(len(name)))
+	hdr = append(hdr, name...)
+	hdr = appendUvarint(hdr, uint64(len(t.insts)))
+	for _, si := range t.insts {
+		hdr = appendUvarint(hdr, uint64(si.pc))
+		mem := byte(0)
+		if si.mem {
+			mem = 1
+		}
+		hdr = append(hdr, byte(si.op), byte(si.class), byte(si.src1), byte(si.src2), byte(si.dst), si.size, mem)
+	}
+	hdr = appendUvarint(hdr, t.n)
+	hdr = appendUvarint(hdr, uint64(len(t.data)))
+
+	crc := crc32.Update(0, crc32.IEEETable, hdr)
+	crc = crc32.Update(crc, crc32.IEEETable, t.data)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := w.Write(t.data); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte{byte(crc), byte(crc >> 8), byte(crc >> 16), byte(crc >> 24)})
+	return err
+}
+
+// sreader reads the stream while maintaining a CRC over every logical byte
+// consumed, independent of any buffering readahead.
+type sreader struct {
+	br  *bufio.Reader
+	crc uint32
+}
+
+func (s *sreader) byte() (byte, error) {
+	b, err := s.br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, err
+	}
+	s.crc = crc32.Update(s.crc, crc32.IEEETable, []byte{b})
+	return b, nil
+}
+
+func (s *sreader) full(buf []byte) error {
+	if _, err := io.ReadFull(s.br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	s.crc = crc32.Update(s.crc, crc32.IEEETable, buf)
+	return nil
+}
+
+func (s *sreader) uvarint() (uint64, error) {
+	var v uint64
+	for i := 0; i < maxVarintLen; i++ {
+		b, err := s.byte()
+		if err != nil {
+			return 0, err
+		}
+		if i == maxVarintLen-1 && b > 1 {
+			return 0, badStream("varint overflows 64 bits")
+		}
+		v |= uint64(b&0x7f) << (7 * i)
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, badStream("varint longer than %d bytes", maxVarintLen)
+}
+
+// ReadStream parses an lbic-trace-stream/v1 file from untrusted input.
+// On success the returned Trace replays through NewReader exactly like the
+// Trace that was written.
+func ReadStream(r io.Reader) (name string, t *Trace, err error) {
+	s := &sreader{br: bufio.NewReader(r)}
+
+	magic := make([]byte, len(streamMagic))
+	if err := s.full(magic); err != nil {
+		return "", nil, badStream("short magic: %v", err)
+	}
+	if string(magic) != streamMagic {
+		return "", nil, badStream("bad magic %q", magic)
+	}
+	flags, err := s.uvarint()
+	if err != nil {
+		return "", nil, badStream("flags: %v", err)
+	}
+	if flags&^uint64(flagNoValues) != 0 {
+		return "", nil, badStream("unknown flag bits %#x", flags)
+	}
+	nameLen, err := s.uvarint()
+	if err != nil {
+		return "", nil, badStream("name length: %v", err)
+	}
+	if nameLen > maxNameLen {
+		return "", nil, badStream("name length %d exceeds %d", nameLen, maxNameLen)
+	}
+	nb := make([]byte, nameLen)
+	if err := s.full(nb); err != nil {
+		return "", nil, badStream("name: %v", err)
+	}
+	name = string(nb)
+	if err := checkName(name); err != nil {
+		return "", nil, badStream("%v", err)
+	}
+
+	nStatics, err := s.uvarint()
+	if err != nil {
+		return "", nil, badStream("static count: %v", err)
+	}
+	if nStatics > maxStatics {
+		return "", nil, badStream("static count %d exceeds %d", nStatics, maxStatics)
+	}
+	t = &Trace{noValues: flags&flagNoValues != 0}
+	if nStatics > 0 {
+		t.insts = make([]staticInst, 0, min(nStatics, 4096))
+	}
+	var rec [staticRecTail]byte
+	for i := uint64(0); i < nStatics; i++ {
+		pc, err := s.uvarint()
+		if err != nil {
+			return "", nil, badStream("static %d pc: %v", i, err)
+		}
+		if pc > math.MaxInt32 {
+			return "", nil, badStream("static %d pc %d exceeds MaxInt32", i, pc)
+		}
+		if err := s.full(rec[:]); err != nil {
+			return "", nil, badStream("static %d: %v", i, err)
+		}
+		if rec[6] > 1 {
+			return "", nil, badStream("static %d mem flag %d", i, rec[6])
+		}
+		si := staticInst{
+			pc:    int32(pc),
+			op:    isa.Op(rec[0]),
+			class: isa.Class(rec[1]),
+			src1:  isa.Reg(rec[2]),
+			src2:  isa.Reg(rec[3]),
+			dst:   isa.Reg(rec[4]),
+			size:  rec[5],
+			mem:   rec[6] == 1,
+		}
+		if err := checkStatic(si); err != nil {
+			return "", nil, badStream("static %d: %v", i, err)
+		}
+		t.insts = append(t.insts, si)
+	}
+
+	n, err := s.uvarint()
+	if err != nil {
+		return "", nil, badStream("instruction count: %v", err)
+	}
+	dataLen, err := s.uvarint()
+	if err != nil {
+		return "", nil, badStream("data length: %v", err)
+	}
+	if dataLen > maxDataLen {
+		return "", nil, badStream("data length %d exceeds %d", dataLen, maxDataLen)
+	}
+	if n > dataLen {
+		return "", nil, badStream("instruction count %d exceeds data length %d", n, dataLen)
+	}
+	t.n = n
+
+	// Read the data section in bounded chunks so a header that lies about
+	// dataLen cannot make us allocate more than the input actually holds.
+	const chunk = 1 << 20
+	t.data = make([]byte, 0, min(dataLen, chunk))
+	for read := uint64(0); read < dataLen; {
+		m := min(dataLen-read, chunk)
+		off := len(t.data)
+		t.data = append(t.data, make([]byte, m)...)
+		if err := s.full(t.data[off:]); err != nil {
+			return "", nil, badStream("data section: %v", err)
+		}
+		read += m
+	}
+
+	if err := validateData(t); err != nil {
+		return "", nil, err
+	}
+
+	var got [4]byte
+	if _, err := io.ReadFull(s.br, got[:]); err != nil {
+		return "", nil, badStream("missing CRC footer")
+	}
+	want := uint32(got[0]) | uint32(got[1])<<8 | uint32(got[2])<<16 | uint32(got[3])<<24
+	if s.crc != want {
+		return "", nil, badStream("CRC mismatch: computed %#08x, footer %#08x", s.crc, want)
+	}
+	if _, err := s.br.ReadByte(); err != io.EOF {
+		return "", nil, badStream("trailing data after CRC footer")
+	}
+	return name, t, nil
+}
+
+// validateData walks the data section exactly as Reader.Next will, proving
+// every varint terminates in bounds, every static ID resolves, every value
+// byte is present, and the section holds exactly n instructions. After this
+// pass the allocation-free Reader can skip all bounds checks.
+func validateData(t *Trace) error {
+	b := t.data
+	pos := 0
+	for i := uint64(0); i < t.n; i++ {
+		id, np, err := checkedUvarint(b, pos)
+		if err != nil {
+			return badStream("instruction %d: static id %v", i, err)
+		}
+		pos = np
+		if id >= uint64(len(t.insts)) {
+			return badStream("instruction %d: static id %d out of range (have %d)", i, id, len(t.insts))
+		}
+		si := &t.insts[id]
+		if si.mem {
+			_, np, err := checkedUvarint(b, pos)
+			if err != nil {
+				return badStream("instruction %d: address delta %v", i, err)
+			}
+			pos = np
+			if !t.noValues {
+				if pos+int(si.size) > len(b) {
+					return badStream("instruction %d: truncated value bytes", i)
+				}
+				pos += int(si.size)
+			}
+		}
+	}
+	if pos != len(b) {
+		return badStream("data section has %d trailing bytes after %d instructions", len(b)-pos, t.n)
+	}
+	return nil
+}
+
+// checkedUvarint is the bounds-checked twin of the Reader's varint decode.
+func checkedUvarint(b []byte, pos int) (uint64, int, error) {
+	var v uint64
+	for i := 0; i < maxVarintLen; i++ {
+		if pos >= len(b) {
+			return 0, 0, errors.New("truncated")
+		}
+		c := b[pos]
+		pos++
+		if i == maxVarintLen-1 && c > 1 {
+			return 0, 0, errors.New("overflows 64 bits")
+		}
+		v |= uint64(c&0x7f) << (7 * i)
+		if c < 0x80 {
+			return v, pos, nil
+		}
+	}
+	return 0, 0, errors.New("longer than 10 bytes")
+}

@@ -1,0 +1,207 @@
+package tracecache
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"lbic/internal/isa"
+	"lbic/internal/trace"
+)
+
+// testDyns builds a small mixed stream: ALU ops, loads and stores of every
+// width, forward and backward address deltas.
+func testDyns() []trace.Dyn {
+	return []trace.Dyn{
+		{PC: 0, Op: isa.Addi, Src1: isa.R(1), Dst: isa.R(2)},
+		{PC: 1, Op: isa.Ld, Src1: isa.R(2), Dst: isa.R(3), Addr: 0x1000, Size: 8, Value: 0xdeadbeefcafe},
+		{PC: 2, Op: isa.Lw, Src1: isa.R(2), Dst: isa.R(4), Addr: 0x0008, Size: 4, Value: 0x1234},
+		{PC: 3, Op: isa.Sb, Src1: isa.R(2), Src2: isa.R(4), Addr: 0xffff_ff00, Size: 1, Value: 0x7f},
+		{PC: 4, Op: isa.Bne, Src1: isa.R(3), Src2: isa.R(4)},
+		{PC: 1, Op: isa.Ld, Src1: isa.R(2), Dst: isa.R(3), Addr: 0x1008, Size: 8, Value: 1},
+		{PC: 5, Op: isa.Fsd, Src1: isa.R(2), Src2: isa.F(0), Addr: 0x2000, Size: 8, Value: 0x3ff0000000000000},
+	}
+}
+
+func recordDyns(t *testing.T, omitValues bool) *Trace {
+	t.Helper()
+	return RecordWith(trace.NewSliceStream(testDyns()), RecordOptions{OmitValues: omitValues})
+}
+
+func drain(t *testing.T, s trace.Stream) []trace.Dyn {
+	t.Helper()
+	var out []trace.Dyn
+	var d trace.Dyn
+	for s.Next(&d) {
+		out = append(out, d)
+		if len(out) > 1<<20 {
+			t.Fatal("stream did not terminate")
+		}
+	}
+	return out
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	for _, omit := range []bool{false, true} {
+		tr := recordDyns(t, omit)
+		var buf bytes.Buffer
+		if err := WriteStream(&buf, "unit/test stream", tr); err != nil {
+			t.Fatalf("omit=%v: WriteStream: %v", omit, err)
+		}
+		name, got, err := ReadStream(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("omit=%v: ReadStream: %v", omit, err)
+		}
+		if name != "unit/test stream" {
+			t.Fatalf("omit=%v: name = %q", omit, name)
+		}
+		if got.Len() != tr.Len() || got.ValuesElided() != omit {
+			t.Fatalf("omit=%v: Len=%d elided=%v, want %d/%v", omit, got.Len(), got.ValuesElided(), tr.Len(), omit)
+		}
+		want := drain(t, tr.NewReader())
+		have := drain(t, got.NewReader())
+		if len(want) != len(have) {
+			t.Fatalf("omit=%v: replay lengths differ: %d vs %d", omit, len(want), len(have))
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("omit=%v: inst %d differs:\n written %+v\n decoded %+v", omit, i, want[i], have[i])
+			}
+		}
+		// Re-encoding the decoded trace must be byte-identical: the format
+		// has one canonical encoding per trace.
+		var buf2 bytes.Buffer
+		if err := WriteStream(&buf2, name, got); err != nil {
+			t.Fatalf("omit=%v: re-encode: %v", omit, err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("omit=%v: re-encoded stream differs from original", omit)
+		}
+	}
+}
+
+func TestStreamOmitValuesZeroesReplay(t *testing.T) {
+	tr := recordDyns(t, true)
+	for i, d := range drain(t, tr.NewReader()) {
+		if d.Value != 0 {
+			t.Fatalf("inst %d: Value = %#x with values elided", i, d.Value)
+		}
+	}
+	full := recordDyns(t, false)
+	if tr.SizeBytes() >= full.SizeBytes() {
+		t.Fatalf("elided trace (%d B) not smaller than full trace (%d B)", tr.SizeBytes(), full.SizeBytes())
+	}
+}
+
+func TestStreamEmptyTrace(t *testing.T) {
+	tr := Record(trace.NewSliceStream(nil), 0)
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, "empty", tr); err != nil {
+		t.Fatal(err)
+	}
+	name, got, err := ReadStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "empty" || got.Len() != 0 {
+		t.Fatalf("got name %q len %d", name, got.Len())
+	}
+	var d trace.Dyn
+	if got.NewReader().Next(&d) {
+		t.Fatal("empty trace yielded an instruction")
+	}
+}
+
+func TestWriteStreamRejectsBadName(t *testing.T) {
+	tr := recordDyns(t, false)
+	for _, name := range []string{strings.Repeat("x", 256), "bad\nname", "bad\x00name", string([]byte{0xff, 0xfe})} {
+		if err := WriteStream(&bytes.Buffer{}, name, tr); err == nil {
+			t.Errorf("WriteStream accepted name %q", name)
+		}
+	}
+}
+
+func encoded(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, "corrupt-me", recordDyns(t, false)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadStreamRejectsCorruption flips, truncates and extends an encoded
+// stream and requires a clean ErrBadStream (never a panic) every time.
+func TestReadStreamRejectsCorruption(t *testing.T) {
+	good := encoded(t)
+	if _, _, err := ReadStream(bytes.NewReader(good)); err != nil {
+		t.Fatalf("baseline decode failed: %v", err)
+	}
+
+	t.Run("truncations", func(t *testing.T) {
+		for n := 0; n < len(good); n++ {
+			if _, _, err := ReadStream(bytes.NewReader(good[:n])); !errors.Is(err, ErrBadStream) {
+				t.Fatalf("truncation at %d: err = %v, want ErrBadStream", n, err)
+			}
+		}
+	})
+	t.Run("bitflips", func(t *testing.T) {
+		for i := 0; i < len(good); i++ {
+			for bit := 0; bit < 8; bit++ {
+				mut := bytes.Clone(good)
+				mut[i] ^= 1 << bit
+				_, _, err := ReadStream(bytes.NewReader(mut))
+				if err == nil {
+					t.Fatalf("bitflip at byte %d bit %d decoded cleanly past the CRC", i, bit)
+				}
+			}
+		}
+	})
+	t.Run("trailing-garbage", func(t *testing.T) {
+		if _, _, err := ReadStream(bytes.NewReader(append(bytes.Clone(good), 0))); !errors.Is(err, ErrBadStream) {
+			t.Fatalf("trailing byte: err = %v, want ErrBadStream", err)
+		}
+	})
+}
+
+// TestReadStreamHostileHeaders feeds headers that lie about lengths; decode
+// must error without large allocations.
+func TestReadStreamHostileHeaders(t *testing.T) {
+	mk := func(build func(b []byte) []byte) []byte {
+		return build([]byte("LBICTS1\n"))
+	}
+	huge := func(v uint64) []byte { return appendUvarint(nil, v) }
+	cases := map[string][]byte{
+		"bad-magic": []byte("NOTLBIC\n\x00"),
+		"unknown-flags": mk(func(b []byte) []byte {
+			return append(b, 0x02)
+		}),
+		"giant-name": mk(func(b []byte) []byte {
+			b = append(b, 0x00)
+			return append(b, huge(1<<40)...)
+		}),
+		"giant-static-count": mk(func(b []byte) []byte {
+			b = append(b, 0x00, 0x00)
+			return append(b, huge(1<<40)...)
+		}),
+		"giant-data-len": mk(func(b []byte) []byte {
+			b = append(b, 0x00, 0x00, 0x00) // flags, name len 0, 0 statics
+			b = append(b, 0x00)             // n = 0
+			return append(b, huge(1<<40)...)
+		}),
+		"count-exceeds-data": mk(func(b []byte) []byte {
+			b = append(b, 0x00, 0x00, 0x00)
+			b = append(b, huge(100)...) // n = 100
+			return append(b, 0x01)      // datalen = 1
+		}),
+		"varint-too-long": mk(func(b []byte) []byte {
+			return append(b, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80)
+		}),
+	}
+	for label, input := range cases {
+		if _, _, err := ReadStream(bytes.NewReader(input)); !errors.Is(err, ErrBadStream) {
+			t.Errorf("%s: err = %v, want ErrBadStream", label, err)
+		}
+	}
+}

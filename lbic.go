@@ -420,21 +420,14 @@ type sim struct {
 	check *oracle.Checker
 }
 
-// buildSim constructs and wires the arbiter, hierarchy, and core for one run,
-// attaching cfg.Events to every layer that records structured events. The
-// instruction stream comes from cfg.Trace when eligible (recording on the
-// first request may block on ctx), from a fresh emulator otherwise.
-func buildSim(ctx context.Context, prog *Program, cfg Config) (*sim, error) {
+// newSim constructs the arbiter and hierarchy for a configuration — the
+// components every run needs regardless of where its instruction stream
+// comes from.
+func newSim(cfg Config) (*sim, error) {
 	memParams := cache.DefaultParams()
 	if cfg.Mem != nil {
 		memParams = *cfg.Mem
 	}
-	cpuCfg := cpu.DefaultConfig()
-	if cfg.CPU != nil {
-		cpuCfg = *cfg.CPU
-	}
-	cpuCfg.MaxInsts = cfg.MaxInsts
-
 	arb, err := buildArbiter(cfg.Port, memParams.L1.LineSize)
 	if err != nil {
 		return nil, err
@@ -443,7 +436,40 @@ func buildSim(ctx context.Context, prog *Program, cfg Config) (*sim, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &sim{arb: arb, hier: hier}
+	return &sim{arb: arb, hier: hier}, nil
+}
+
+// wireCore attaches the timing core to a stream and hooks up cfg.Events.
+func (s *sim) wireCore(stream trace.Stream, cfg Config) error {
+	cpuCfg := cpu.DefaultConfig()
+	if cfg.CPU != nil {
+		cpuCfg = *cfg.CPU
+	}
+	cpuCfg.MaxInsts = cfg.MaxInsts
+	c, err := cpu.New(stream, s.hier, s.arb, cpuCfg)
+	if err != nil {
+		return err
+	}
+	s.core = c
+	if cfg.Events != nil {
+		c.SetEventSink(cfg.Events)
+		s.hier.SetEventSink(cfg.Events)
+		if er, ok := s.arb.(ports.EventRecorder); ok {
+			er.SetEventSink(cfg.Events)
+		}
+	}
+	return nil
+}
+
+// buildSim constructs and wires the arbiter, hierarchy, and core for one run,
+// attaching cfg.Events to every layer that records structured events. The
+// instruction stream comes from cfg.Trace when eligible (recording on the
+// first request may block on ctx), from a fresh emulator otherwise.
+func buildSim(ctx context.Context, prog *Program, cfg Config) (*sim, error) {
+	s, err := newSim(cfg)
+	if err != nil {
+		return nil, err
+	}
 	var stream trace.Stream
 	if cfg.Trace != nil && cfg.MaxInsts > 0 && !cfg.Verify {
 		stream, err = cfg.Trace.Stream(ctx, prog, cfg.MaxInsts)
@@ -458,21 +484,12 @@ func buildSim(ctx context.Context, prog *Program, cfg Config) (*sim, error) {
 		}
 		stream = s.machine
 	}
-	c, err := cpu.New(stream, hier, arb, cpuCfg)
-	if err != nil {
+	if err := s.wireCore(stream, cfg); err != nil {
 		return nil, err
 	}
-	s.core = c
-	if cfg.Events != nil {
-		c.SetEventSink(cfg.Events)
-		hier.SetEventSink(cfg.Events)
-		if er, ok := arb.(ports.EventRecorder); ok {
-			er.SetEventSink(cfg.Events)
-		}
-	}
 	if cfg.Verify {
-		s.check = oracle.NewChecker(prog, arb)
-		c.SetVerifier(s.check)
+		s.check = oracle.NewChecker(prog, s.arb)
+		s.core.SetVerifier(s.check)
 	}
 	return s, nil
 }
@@ -489,9 +506,9 @@ func (s *sim) finishVerify(complete bool) error {
 
 // result assembles the Result of a finished run, including the metrics
 // registry.
-func (s *sim) result(prog *Program, cfg Config, st cpu.Stats) Result {
+func (s *sim) result(name string, cfg Config, st cpu.Stats) Result {
 	res := Result{
-		Benchmark: prog.Name,
+		Benchmark: name,
 		Port:      cfg.Port,
 		Cycles:    st.Cycles,
 		Insts:     st.Committed,
@@ -525,16 +542,20 @@ func (s *sim) result(prog *Program, cfg Config, st cpu.Stats) Result {
 // value and stack instead of tearing down the process. This is what lets the
 // sweep runner isolate one broken cell from the rest of a table. Call it
 // directly in a defer statement so recover sees the panicking frame.
-func recoverSimPanic(prog *Program, errp *error) {
-	r := recover()
+func recoverSimPanic(prog *Program, errp *error) { recoverRunPanic(prog.Name, errp, recover()) }
+
+// recoverRunPanic is the name-keyed core of recoverSimPanic, shared by runs
+// whose stream has no backing Program (trace replays, generators). It takes
+// the recover() value explicitly so wrappers can call it from their own defer.
+func recoverRunPanic(name string, errp *error, r any) {
 	if r == nil {
 		return
 	}
 	if f, ok := r.(*vm.Fault); ok {
-		*errp = fmt.Errorf("lbic: program %q faulted: %w", prog.Name, f)
+		*errp = fmt.Errorf("lbic: program %q faulted: %w", name, f)
 		return
 	}
-	*errp = fmt.Errorf("lbic: simulating %q panicked: %v\n%s", prog.Name, r, debug.Stack())
+	*errp = fmt.Errorf("lbic: simulating %q panicked: %v\n%s", name, r, debug.Stack())
 }
 
 // Simulate runs prog on the paper's processor model under the configured
@@ -587,7 +608,7 @@ func SimulateContext(ctx context.Context, prog *Program, cfg Config) (res Result
 	if err := s.finishVerify(true); err != nil {
 		return Result{}, fmt.Errorf("lbic: simulating %q on %s: %w", prog.Name, cfg.Port.Name(), err)
 	}
-	res = s.result(prog, cfg, st)
+	res = s.result(prog.Name, cfg, st)
 	span.SetAttr("cycles", res.Cycles)
 	span.SetAttr("insts", res.Insts)
 	span.SetAttr("ipc", res.IPC)

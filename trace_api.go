@@ -49,5 +49,5 @@ func TraceSimulation(prog *Program, cfg Config, w io.Writer, opt TraceOptions) (
 	if err := s.finishVerify(opt.MaxCycles == 0); err != nil {
 		return Result{}, fmt.Errorf("lbic: tracing %q on %s: %w", prog.Name, cfg.Port.Name(), err)
 	}
-	return s.result(prog, cfg, st), nil
+	return s.result(prog.Name, cfg, st), nil
 }
