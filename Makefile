@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench bench-smoke bench-diff lbicd-smoke advsearch-smoke tables figures ablations workloads fuzz reproduce clean
+.PHONY: all build vet test test-short check bench bench-smoke bench-diff lbicd-smoke cluster-smoke advsearch-smoke tables figures ablations workloads fuzz reproduce clean
 
 all: build vet test
 
@@ -62,6 +62,15 @@ lbicd-smoke:
 	/tmp/lbicd -addr 127.0.0.1:8329 & echo $$! > /tmp/lbicd.pid; \
 	trap 'kill $$(cat /tmp/lbicd.pid) 2>/dev/null' EXIT; \
 	$(GO) run ./scripts/lbicdsmoke -addr http://127.0.0.1:8329 -trace-artifact $(TRACE_ARTIFACT)
+
+# cluster-smoke is the CI gate for the distributed plane: a coordinator plus
+# three worker processes run a sweep, one worker is SIGKILLed mid-job, and
+# every cell must still complete byte-identical to the single-process run.
+# It then points a coordinator at dead ports and requires the same request to
+# complete by graceful degradation to in-process execution.
+cluster-smoke:
+	$(GO) build -o /tmp/lbicd ./cmd/lbicd
+	$(GO) run ./scripts/clusterchaos -smoke -lbicd /tmp/lbicd
 
 # advsearch-smoke is the CI gate for the adversarial-workload loop: a tiny
 # fixed-seed search must complete, and replaying the checked-in regression

@@ -5,11 +5,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"lbic"
 )
@@ -231,15 +233,88 @@ func (c *Client) JobTrace(ctx context.Context, id string) (lbic.TraceJSONLHeader
 // invoking fn for every event, like Stream does for JSONL. Use it when an
 // intermediary (or the caller) wants SSE semantics; the two streams carry
 // identical events.
+//
+// The stream is resumable: the server stamps each event with an id: field,
+// and on a dropped connection StreamSSE reconnects with backoff, sending
+// Last-Event-ID so the server replays only the unseen suffix. Already-
+// consumed ids are additionally filtered client-side, so fn never sees an
+// event twice even against a server that ignores the header. Reconnection
+// covers transport failures only; an HTTP error status or an error from fn
+// is returned immediately.
 func (c *Client) StreamSSE(ctx context.Context, id string, fn func(StreamEvent) error) error {
+	const maxAttempts = 5
+	lastID := -1 // highest event id delivered to fn; -1 = none yet
+	backoff := 250 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+			if backoff < 4*time.Second {
+				backoff *= 2
+			}
+		}
+		before := lastID
+		done, err := c.streamSSEOnce(ctx, id, &lastID, fn)
+		if done {
+			return nil
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) || errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) || isCallbackErr(err) {
+			return unwrapCallbackErr(err)
+		}
+		lastErr = err
+		if lastID > before {
+			// The connection made progress before dropping; treat the next
+			// reconnect as fresh rather than burning the attempt budget.
+			attempt = 0
+			backoff = 250 * time.Millisecond
+		}
+	}
+	return fmt.Errorf("lbicd: SSE stream failed after reconnects: %w", lastErr)
+}
+
+// callbackErr marks an error produced by the caller's fn, which must abort
+// the stream rather than trigger a reconnect.
+type callbackErr struct{ err error }
+
+func (e callbackErr) Error() string { return e.err.Error() }
+
+func isCallbackErr(err error) bool {
+	var ce callbackErr
+	return errors.As(err, &ce)
+}
+
+func unwrapCallbackErr(err error) error {
+	var ce callbackErr
+	if errors.As(err, &ce) {
+		return ce.err
+	}
+	return err
+}
+
+// streamSSEOnce runs one SSE connection, delivering events with id > *lastID
+// to fn and advancing *lastID past each delivery. It returns done=true once
+// the done event is consumed; otherwise the error says why the connection
+// ended.
+func (c *Client) streamSSEOnce(ctx context.Context, id string, lastID *int, fn func(StreamEvent) error) (bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/stream", nil)
 	if err != nil {
-		return err
+		return false, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if *lastID >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(*lastID))
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
@@ -249,34 +324,70 @@ func (c *Client) StreamSSE(ctx context.Context, id string, fn func(StreamEvent) 
 		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
 			msg = er.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		return false, &APIError{StatusCode: resp.StatusCode, Message: msg}
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	// evID is the id: field of the event currently being framed; -1 means the
+	// server sent none, in which case events are delivered unconditionally
+	// (legacy framing, no resume).
+	evID := -1
 	for sc.Scan() {
 		line := sc.Bytes()
-		// SSE framing: "event: t" names the next event, "data: {...}"
-		// carries it; comment and id fields are ignored. The server sends
-		// one data line per event, so dispatch on it directly.
+		// SSE framing: "event: t" names the next event, "id: n" numbers it,
+		// "data: {...}" carries it. The server sends one data line per event,
+		// so dispatch on it directly.
+		if idf, ok := bytes.CutPrefix(line, []byte("id: ")); ok {
+			if n, err := strconv.Atoi(string(idf)); err == nil {
+				evID = n
+			}
+			continue
+		}
 		data, ok := bytes.CutPrefix(line, []byte("data: "))
 		if !ok {
 			continue
 		}
+		if evID >= 0 && evID <= *lastID {
+			// Replayed prefix from a server that ignored Last-Event-ID —
+			// already delivered, do not double-count.
+			evID = -1
+			continue
+		}
 		var ev StreamEvent
 		if err := json.Unmarshal(data, &ev); err != nil {
-			return fmt.Errorf("lbicd: decoding SSE event: %w", err)
+			return false, fmt.Errorf("lbicd: decoding SSE event: %w", err)
 		}
 		if err := fn(ev); err != nil {
-			return err
+			return false, callbackErr{err}
 		}
+		if evID >= 0 {
+			*lastID = evID
+		}
+		evID = -1
 		if ev.Type == "done" {
-			return nil
+			return true, nil
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return false, err
 	}
-	return fmt.Errorf("lbicd: SSE stream ended without a done event")
+	return false, fmt.Errorf("lbicd: SSE stream ended without a done event")
+}
+
+// Cluster fetches the coordinator's cluster status (GET /v1/cluster):
+// worker membership, dispatch counters, and result-store statistics. A
+// standalone server (no cluster wired) answers 404.
+func (c *Client) Cluster(ctx context.Context) (ClusterStatus, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/cluster", nil)
+	if err != nil {
+		return ClusterStatus{}, err
+	}
+	defer resp.Body.Close()
+	var st ClusterStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return ClusterStatus{}, fmt.Errorf("lbicd: decoding cluster status: %w", err)
+	}
+	return st, nil
 }
 
 // Metrics fetches the server's metrics as a structured snapshot

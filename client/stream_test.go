@@ -1,0 +1,101 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"lbic/client"
+)
+
+// flakySSE serves a job stream that drops the connection after the first
+// event; subsequent connections must present Last-Event-ID and receive only
+// the unseen suffix.
+type flakySSE struct {
+	conns   atomic.Int32
+	lastIDs chan string
+}
+
+func (f *flakySSE) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := f.conns.Add(1)
+	f.lastIDs <- r.Header.Get("Last-Event-ID")
+	w.Header().Set("Content-Type", "text/event-stream")
+	fl := w.(http.Flusher)
+	if n == 1 {
+		fmt.Fprint(w, "event: cell\nid: 0\ndata: {\"type\":\"cell\",\"cell\":{\"key\":\"k0\"}}\n\n")
+		fl.Flush()
+		// Sever mid-stream: the client saw event 0 but no done.
+		panic(http.ErrAbortHandler)
+	}
+	// The resumed connection replays event 0 anyway — a server ignoring
+	// Last-Event-ID — so the client-side id filter must drop it.
+	fmt.Fprint(w, "event: cell\nid: 0\ndata: {\"type\":\"cell\",\"cell\":{\"key\":\"k0\"}}\n\n")
+	fmt.Fprint(w, "event: cell\nid: 1\ndata: {\"type\":\"cell\",\"cell\":{\"key\":\"k1\"}}\n\n")
+	fmt.Fprint(w, "event: done\nid: 2\ndata: {\"type\":\"done\",\"status\":{\"id\":\"job-1\",\"state\":\"done\"}}\n\n")
+	fl.Flush()
+}
+
+func TestStreamSSEReconnectsWithoutDoubleCounting(t *testing.T) {
+	f := &flakySSE{lastIDs: make(chan string, 4)}
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+
+	var got []string
+	err := client.New(ts.URL).StreamSSE(context.Background(), "job-1", func(ev client.StreamEvent) error {
+		if ev.Type == "cell" {
+			got = append(got, ev.Cell.Key)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("StreamSSE did not survive the dropped connection: %v", err)
+	}
+	if f.conns.Load() != 2 {
+		t.Errorf("connections = %d, want 2 (one drop, one resume)", f.conns.Load())
+	}
+	if first := <-f.lastIDs; first != "" {
+		t.Errorf("first connection sent Last-Event-ID %q, want none", first)
+	}
+	if resumed := <-f.lastIDs; resumed != "0" {
+		t.Errorf("resumed connection sent Last-Event-ID %q, want \"0\"", resumed)
+	}
+	// Each cell exactly once, despite the replayed prefix.
+	if len(got) != 2 || got[0] != "k0" || got[1] != "k1" {
+		t.Errorf("delivered cells %v, want exactly [k0 k1]", got)
+	}
+}
+
+func TestStreamSSECallbackErrorAbortsWithoutReconnect(t *testing.T) {
+	f := &flakySSE{lastIDs: make(chan string, 4)}
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+	wantErr := fmt.Errorf("observer said stop")
+	err := client.New(ts.URL).StreamSSE(context.Background(), "job-1", func(ev client.StreamEvent) error {
+		return wantErr
+	})
+	if err != wantErr {
+		t.Errorf("err = %v, want the callback's error surfaced directly", err)
+	}
+	if f.conns.Load() != 1 {
+		t.Errorf("connections = %d, want 1 (callback errors must not reconnect)", f.conns.Load())
+	}
+}
+
+func TestStreamSSEGivesUpAfterRepeatedFailures(t *testing.T) {
+	var conns atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns.Add(1)
+		panic(http.ErrAbortHandler) // every connection dies before any event
+	}))
+	defer ts.Close()
+	err := client.New(ts.URL).StreamSSE(context.Background(), "job-1", func(client.StreamEvent) error { return nil })
+	if err == nil {
+		t.Fatal("StreamSSE succeeded against a server that never delivers")
+	}
+	if n := conns.Load(); n < 2 {
+		t.Errorf("connections = %d, want evidence of bounded retrying", n)
+	}
+}

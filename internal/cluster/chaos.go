@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ChaosOptions configures the fault-injection middleware a worker mounts in
+// front of its handler. Chaos is the drill ground for the cluster's
+// robustness story: dropped connections exercise retry-onto-another-worker,
+// injected latency exercises hedging, and self-SIGKILL exercises eviction,
+// re-sharding, and the byte-identical-completion guarantee.
+type ChaosOptions struct {
+	// DropRate is the probability in [0, 1] that an API request's connection
+	// is severed without a response (the client sees a transport error, as if
+	// the process died mid-request).
+	DropRate float64
+	// Slow adds fixed latency before handling each API request.
+	Slow time.Duration
+	// KillAfter > 0 SIGKILLs this process after serving that many
+	// /v1/simulate requests — a crash mid-job, not a graceful drain.
+	KillAfter int
+	// Seed makes the drop pattern reproducible. 0 seeds from the clock.
+	Seed int64
+	// Log announces injected faults. Default: discard.
+	Log *slog.Logger
+}
+
+// Chaos wraps next with fault injection per opts. Faults apply to /v1/*
+// routes only: /healthz and /metrics stay honest so membership and drill
+// observability describe the truth while the load path misbehaves.
+// (A SIGKILL takes the whole process, heartbeats included — that is the
+// point.) With zero options the handler is returned unwrapped.
+func Chaos(next http.Handler, opts ChaosOptions) http.Handler {
+	if opts.DropRate <= 0 && opts.Slow <= 0 && opts.KillAfter <= 0 {
+		return next
+	}
+	log := opts.Log
+	if log == nil {
+		log = slog.New(discardHandler{})
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c := &chaos{next: next, opts: opts, log: log, rng: rand.New(rand.NewSource(seed))}
+	return c
+}
+
+type chaos struct {
+	next   http.Handler
+	opts   ChaosOptions
+	log    *slog.Logger
+	mu     sync.Mutex
+	rng    *rand.Rand
+	served atomic.Int64
+}
+
+func (c *chaos) roll() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}
+
+func (c *chaos) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !strings.HasPrefix(r.URL.Path, "/v1/") {
+		c.next.ServeHTTP(w, r)
+		return
+	}
+	if c.opts.DropRate > 0 && c.roll() < c.opts.DropRate {
+		c.log.Warn("chaos: dropping connection", "path", r.URL.Path)
+		// ErrAbortHandler tears the connection down with no response — the
+		// client-visible signature of a process dying mid-request.
+		panic(http.ErrAbortHandler)
+	}
+	if c.opts.Slow > 0 {
+		select {
+		case <-time.After(c.opts.Slow):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	c.next.ServeHTTP(w, r)
+	if c.opts.KillAfter > 0 && r.URL.Path == "/v1/simulate" {
+		if n := c.served.Add(1); int(n) == c.opts.KillAfter {
+			c.log.Warn("chaos: kill-after reached, SIGKILLing self", "served", n)
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lbic/client"
+)
+
+// PoolOptions configures worker membership tracking.
+type PoolOptions struct {
+	// Interval is the heartbeat period. Default 1s.
+	Interval time.Duration
+	// Timeout bounds each heartbeat probe. Default: Interval.
+	Timeout time.Duration
+	// EvictAfter is how many consecutive missed heartbeats evict a worker.
+	// One successful heartbeat readmits it. Default 3.
+	EvictAfter int
+	// HTTPClient issues the probes (and is shared with dispatch when the
+	// Dispatcher is built over this pool). Default: a client with sane
+	// connection reuse.
+	HTTPClient *http.Client
+	// Log receives membership transitions. Default: discard.
+	Log *slog.Logger
+}
+
+func (o PoolOptions) withDefaults() PoolOptions {
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = o.Interval
+	}
+	if o.EvictAfter <= 0 {
+		o.EvictAfter = 3
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	}
+	if o.Log == nil {
+		o.Log = slog.New(discardHandler{})
+	}
+	return o
+}
+
+// discardHandler is a no-op slog.Handler (slog.DiscardHandler is go1.24+;
+// keep an explicit one so the package's floor stays the module's).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// Worker is one cluster member as the coordinator tracks it.
+type Worker struct {
+	addr string
+	c    *client.Client
+
+	mu       sync.Mutex
+	healthy  bool
+	fails    int
+	lastSeen time.Time
+	maxPar   int
+	queued   int
+
+	dispatched atomic.Uint64
+	served     atomic.Uint64
+	errors     atomic.Uint64
+}
+
+// Addr returns the worker's base URL.
+func (w *Worker) Addr() string { return w.addr }
+
+// Client returns the worker's API client.
+func (w *Worker) Client() *client.Client { return w.c }
+
+// Healthy reports the current heartbeat verdict.
+func (w *Worker) Healthy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy
+}
+
+// Pool tracks a fixed set of workers by periodic heartbeat — a poll of each
+// worker's /healthz, whose response carries the worker's advertised
+// capacity. A worker that misses EvictAfter consecutive heartbeats is
+// evicted (no longer offered cells); the next successful heartbeat readmits
+// it. Eviction re-shards automatically: the ring is built over all
+// configured workers, and Sequence filters to the currently-healthy ones, so
+// a dead worker's keys deterministically fall to their next-preferred
+// member and return home when it is readmitted.
+type Pool struct {
+	opts    PoolOptions
+	workers []*Worker
+	byAddr  map[string]*Worker
+	ring    *Ring
+}
+
+// NewPool returns a pool over the worker base URLs. Workers start
+// optimistically healthy — a cold coordinator should try dispatching before
+// its first heartbeat round lands — and are evicted on real failures.
+func NewPool(addrs []string, opts PoolOptions) *Pool {
+	opts = opts.withDefaults()
+	p := &Pool{opts: opts, byAddr: make(map[string]*Worker, len(addrs))}
+	for _, a := range addrs {
+		if a == "" || p.byAddr[a] != nil {
+			continue
+		}
+		c := client.New(a)
+		c.HTTPClient = opts.HTTPClient
+		w := &Worker{addr: a, c: c, healthy: true}
+		p.workers = append(p.workers, w)
+		p.byAddr[a] = w
+	}
+	members := make([]string, len(p.workers))
+	for i, w := range p.workers {
+		members[i] = w.addr
+	}
+	p.ring = NewRing(members)
+	return p
+}
+
+// Len returns the number of configured workers.
+func (p *Pool) Len() int { return len(p.workers) }
+
+// Start launches the heartbeat loop (an immediate probe round, then one per
+// interval) until ctx is done.
+func (p *Pool) Start(ctx context.Context) {
+	go func() {
+		p.ProbeAll(ctx)
+		t := time.NewTicker(p.opts.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				p.ProbeAll(ctx)
+			}
+		}
+	}()
+}
+
+// ProbeAll heartbeats every worker once, concurrently, and applies the
+// eviction/readmission rules. Exported for tests and for callers that want
+// a synchronous membership refresh before a critical dispatch.
+func (p *Pool) ProbeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, w := range p.workers {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			p.probe(ctx, w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+func (p *Pool) probe(ctx context.Context, w *Worker) {
+	hctx, cancel := context.WithTimeout(ctx, p.opts.Timeout)
+	defer cancel()
+	h, err := w.c.Health(hctx)
+	w.mu.Lock()
+	wasHealthy := w.healthy
+	if err != nil {
+		w.fails++
+		if w.fails >= p.opts.EvictAfter {
+			w.healthy = false
+		}
+	} else {
+		w.fails = 0
+		w.healthy = true
+		w.lastSeen = time.Now()
+		w.maxPar = h.MaxParallel
+		w.queued = h.QueuedCells
+	}
+	isHealthy := w.healthy
+	fails := w.fails
+	w.mu.Unlock()
+	if wasHealthy && !isHealthy {
+		p.opts.Log.Warn("cluster: worker evicted", "addr", w.addr, "consecutive_fails", fails, "err", err)
+	} else if !wasHealthy && isHealthy {
+		p.opts.Log.Info("cluster: worker readmitted", "addr", w.addr)
+	}
+}
+
+// Sequence returns the key's preference-ordered healthy workers: the
+// consistent-hash walk over all configured workers, filtered to members
+// that are currently admitted. Empty when every worker is evicted — the
+// caller should degrade to local execution.
+func (p *Pool) Sequence(key string) []*Worker {
+	var out []*Worker
+	for _, addr := range p.ring.Sequence(key, 0) {
+		if w := p.byAddr[addr]; w != nil && w.Healthy() {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// HealthyCount returns how many workers are currently admitted.
+func (p *Pool) HealthyCount() int {
+	n := 0
+	for _, w := range p.workers {
+		if w.Healthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// Status snapshots every worker's membership state for /v1/cluster.
+func (p *Pool) Status() []client.ClusterWorker {
+	out := make([]client.ClusterWorker, 0, len(p.workers))
+	for _, w := range p.workers {
+		w.mu.Lock()
+		cw := client.ClusterWorker{
+			Addr:               w.addr,
+			Healthy:            w.healthy,
+			ConsecutiveFails:   w.fails,
+			LastSeenAgeSeconds: -1,
+			MaxParallel:        w.maxPar,
+			QueuedCells:        w.queued,
+		}
+		if !w.lastSeen.IsZero() {
+			cw.LastSeenAgeSeconds = time.Since(w.lastSeen).Seconds()
+		}
+		w.mu.Unlock()
+		cw.Dispatched = w.dispatched.Load()
+		cw.Served = w.served.Load()
+		cw.Errors = w.errors.Load()
+		out = append(out, cw)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingSequenceDeterministicAndDistinct(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	r := NewRing(members)
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	for _, key := range []string{"sim/compress/lbic-4x2/i1000000", "sim/li/bank-4/i1000000", "x"} {
+		seq := r.Sequence(key, 0)
+		if len(seq) != 4 {
+			t.Fatalf("Sequence(%q) = %v, want 4 distinct members", key, seq)
+		}
+		seen := map[string]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Errorf("Sequence(%q) repeats %q: %v", key, m, seq)
+			}
+			seen[m] = true
+		}
+		if again := r.Sequence(key, 0); !reflect.DeepEqual(seq, again) {
+			t.Errorf("Sequence(%q) not deterministic: %v vs %v", key, seq, again)
+		}
+		if r.Owner(key) != seq[0] {
+			t.Errorf("Owner(%q) = %q, want sequence head %q", key, r.Owner(key), seq[0])
+		}
+	}
+	if got := r.Sequence("k", 2); len(got) != 2 {
+		t.Errorf("Sequence(k, 2) = %v, want 2 members", got)
+	}
+}
+
+func TestRingRemovalOnlyRemapsOwnedKeys(t *testing.T) {
+	full := NewRing([]string{"a", "b", "c"})
+	without := NewRing([]string{"a", "b"})
+	moved, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("sim/bench%d/port/i%d", i, i)
+		before := full.Owner(key)
+		after := without.Owner(key)
+		if before == "c" {
+			moved++
+			continue // c's keys must move somewhere; anywhere is fine
+		}
+		if before != after {
+			t.Fatalf("key %q moved %q -> %q though its owner stayed a member", key, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestRingRoughBalance(t *testing.T) {
+	r := NewRing([]string{"w1", "w2", "w3"})
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("sim/k%d", i))]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d members own keys: %v", len(counts), counts)
+	}
+	for m, c := range counts {
+		// 64 vnodes/member leaves real skew; the bound only catches gross
+		// imbalance (a member starved or hoarding).
+		if c < n/10 || c > 3*n/4 {
+			t.Errorf("member %s owns %d of %d keys — imbalanced: %v", m, c, n, counts)
+		}
+	}
+}
+
+func TestRingEmptyAndDuplicates(t *testing.T) {
+	if got := NewRing(nil).Sequence("k", 0); got != nil {
+		t.Errorf("empty ring Sequence = %v, want nil", got)
+	}
+	if got := NewRing(nil).Owner("k"); got != "" {
+		t.Errorf("empty ring Owner = %q, want empty", got)
+	}
+	r := NewRing([]string{"a", "a", "", "b"})
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (duplicates and empties dropped)", r.Len())
+	}
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"lbic/client"
+)
+
+// Fingerprint identifies the simulation code that produced a report: the
+// binary's VCS revision (suffixed "+dirty" for a modified checkout), or
+// "dev" when no build info is embedded (go test, go run). Store entries are
+// keyed by it so a rebuilt cluster never serves a report computed by
+// different code as if it were current.
+func Fingerprint() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	rev, dirty := "", false
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			rev = kv.Value
+		case "vcs.modified":
+			dirty = kv.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if dirty {
+		return rev + "+dirty"
+	}
+	return rev
+}
+
+// Store is a content-addressed result store: finished cell reports on disk,
+// addressed by SHA-256 of (request schema version, cell key, code
+// fingerprint). Any worker or coordinator pointed at the same directory —
+// including one restarted after a crash, or a whole new cluster — serves a
+// cached cell without re-simulating it. Writes are atomic (temp file +
+// rename) so a SIGKILL mid-write never leaves a readable-but-wrong entry,
+// and every read re-verifies the address fields before trusting the bytes.
+type Store struct {
+	dir         string
+	fingerprint string
+
+	mu   sync.Mutex // serializes writers of the same entry
+	hits atomic.Uint64
+	miss atomic.Uint64
+	puts atomic.Uint64
+}
+
+// storeEntry is the on-disk document. The address fields are stored
+// alongside the report so a hash collision or a mis-filed entry is detected
+// on read instead of silently served. The report rides as a JSON string, not
+// an embedded object: string escaping round-trips the served bytes exactly,
+// where re-marshaling an embedded RawMessage would compact them and break
+// the byte-identical guarantee.
+type storeEntry struct {
+	Schema      string `json:"schema"`
+	Fingerprint string `json:"fingerprint"`
+	Key         string `json:"key"`
+	Report      string `json:"report"`
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir, keyed under
+// the given code fingerprint (empty selects Fingerprint()).
+func OpenStore(dir, fingerprint string) (*Store, error) {
+	if fingerprint == "" {
+		fingerprint = Fingerprint()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: opening store: %w", err)
+	}
+	return &Store{dir: dir, fingerprint: fingerprint}, nil
+}
+
+// Fingerprint returns the code fingerprint this store reads and writes under.
+func (s *Store) Fingerprint() string { return s.fingerprint }
+
+// path maps a cell key to its content address under the store root. Two
+// hex digits of fan-out keep directories small at millions of cells.
+func (s *Store) path(key string) string {
+	sum := sha256.Sum256([]byte(client.RequestSchema + "\x00" + s.fingerprint + "\x00" + key))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(s.dir, name[:2], name+".json")
+}
+
+// Get returns the stored report for a cell key, if present and addressed by
+// the same schema version and code fingerprint. A nil Store always misses.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	raw, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.miss.Add(1)
+		return nil, false
+	}
+	var e storeEntry
+	if json.Unmarshal(raw, &e) != nil ||
+		e.Schema != client.RequestSchema || e.Fingerprint != s.fingerprint ||
+		e.Key != key || len(e.Report) == 0 {
+		s.miss.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return []byte(e.Report), true
+}
+
+// Put stores a cell's report. Errors are deliberately swallowed after
+// counting — the store is a cache, and a full disk must degrade service to
+// "slower", never to "failed".
+func (s *Store) Put(key string, report []byte) {
+	if s == nil || len(report) == 0 {
+		return
+	}
+	e, err := json.Marshal(storeEntry{
+		Schema:      client.RequestSchema,
+		Fingerprint: s.fingerprint,
+		Key:         key,
+		Report:      string(report),
+	})
+	if err != nil {
+		return
+	}
+	path := s.path(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(append(e, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if os.Rename(tmp.Name(), path) != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	s.puts.Add(1)
+}
+
+// StoreStats is a snapshot of the store's counters.
+type StoreStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Puts   uint64 `json:"puts"`
+}
+
+// Stats snapshots the store's counters. Safe on a nil Store.
+func (s *Store) Stats() StoreStats {
+	if s == nil {
+		return StoreStats{}
+	}
+	return StoreStats{Hits: s.hits.Load(), Misses: s.miss.Load(), Puts: s.puts.Load()}
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "sim/compress/lbic-4x2/i1000000"
+	report := []byte(`{"schema":"lbic-run-report/v1","cycles":42}`)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get on empty store hit")
+	}
+	s.Put(key, report)
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("Get missed after Put")
+	}
+	if !bytes.Equal(got, report) {
+		t.Errorf("Get = %s, want the exact stored bytes %s", got, report)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Errorf("Stats = %+v, want 1 hit / 1 miss / 1 put", st)
+	}
+}
+
+func TestStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenStore(dir, "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Put("k", []byte(`{"x":1}`))
+	s2, err := OpenStore(dir, "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get("k"); !ok || !bytes.Equal(got, []byte(`{"x":1}`)) {
+		t.Errorf("reopened store Get = %s, %v; want the stored report", got, ok)
+	}
+}
+
+func TestStoreFingerprintIsolation(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := OpenStore(dir, "rev-a")
+	s2, _ := OpenStore(dir, "rev-b")
+	s1.Put("k", []byte(`{"x":1}`))
+	if _, ok := s2.Get("k"); ok {
+		t.Error("a report computed under rev-a was served under rev-b")
+	}
+}
+
+func TestStoreRejectsTamperedEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenStore(dir, "fp")
+	s.Put("k", []byte(`{"x":1}`))
+	// Corrupt the entry on disk; the read-time address re-verification must
+	// turn it into a miss, never into served garbage.
+	var path string
+	filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			path = p
+		}
+		return nil
+	})
+	if path == "" {
+		t.Fatal("no entry written")
+	}
+	if err := os.WriteFile(path, []byte(`{"schema":"lbic-sim-request/v1","fingerprint":"fp","key":"OTHER","report":{"x":1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Error("tampered entry served")
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Error("corrupt entry served")
+	}
+}
+
+func TestStoreNilSafe(t *testing.T) {
+	var s *Store
+	if _, ok := s.Get("k"); ok {
+		t.Error("nil store hit")
+	}
+	s.Put("k", []byte("x")) // must not panic
+	if st := s.Stats(); st != (StoreStats{}) {
+		t.Errorf("nil store Stats = %+v", st)
+	}
+}

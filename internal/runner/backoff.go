@@ -1,0 +1,114 @@
+package runner
+
+import (
+	"context"
+	"hash/fnv"
+	"time"
+)
+
+// Backoff computes the delay before each re-attempt of a failed cell:
+// capped exponential growth with deterministic jitter. The jitter is a pure
+// function of the cell key and attempt number, so a given sweep produces the
+// same retry schedule on every run — reproducibility is a project invariant,
+// and "retry timing" must not be the one nondeterministic part of it — while
+// distinct cells still decorrelate (no retry stampede when a whole sweep's
+// worth of cells fails at once against a shared resource).
+type Backoff struct {
+	// Base is the nominal delay before the first retry. Default 100ms.
+	Base time.Duration
+	// Max caps the post-jitter delay. Default 5s.
+	Max time.Duration
+	// Factor multiplies the delay each further attempt. Default 2.
+	Factor float64
+	// Jitter spreads each delay multiplicatively over
+	// [1-Jitter, 1+Jitter). Default 0.5; 0 disables jitter. Values are
+	// clamped to [0, 1).
+	Jitter float64
+}
+
+// DefaultBackoff is the schedule used when Options.Backoff is the zero
+// value: 100ms nominal first retry, doubling, capped at 5s, ±50% jitter.
+var DefaultBackoff = Backoff{
+	Base:   100 * time.Millisecond,
+	Max:    5 * time.Second,
+	Factor: 2,
+	Jitter: 0.5,
+}
+
+// withDefaults fills zero fields from DefaultBackoff. A wholly zero Backoff
+// becomes the default schedule; set Base < 0 to request no delay at all.
+func (b Backoff) withDefaults() Backoff {
+	if b.Base == 0 {
+		b.Base = DefaultBackoff.Base
+	}
+	if b.Max == 0 {
+		b.Max = DefaultBackoff.Max
+	}
+	if b.Factor == 0 {
+		b.Factor = DefaultBackoff.Factor
+	}
+	if b.Jitter == 0 {
+		b.Jitter = DefaultBackoff.Jitter
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0
+	}
+	if b.Jitter >= 1 {
+		b.Jitter = 0.999
+	}
+	return b
+}
+
+// Delay returns the wait before retry number attempt (1-based: attempt 1 is
+// the delay between the first failure and the second execution) of the cell
+// identified by key. Negative Base disables waiting entirely.
+func (b Backoff) Delay(key string, attempt int) time.Duration {
+	b = b.withDefaults()
+	if b.Base < 0 {
+		return 0
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(b.Base)
+	for i := 1; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		// Deterministic jitter: a 64-bit hash of (key, attempt) mapped to
+		// [0, 1) scales the delay into [1-J, 1+J).
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		h.Write([]byte{byte(attempt), byte(attempt >> 8), byte(attempt >> 16), byte(attempt >> 24)})
+		u := float64(h.Sum64()>>11) / float64(1<<53) // 53 uniform bits in [0,1)
+		d *= 1 - b.Jitter + 2*b.Jitter*u
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// sleepFn waits for d or until ctx is done, returning ctx.Err() in the
+// latter case. Package variable so backoff tests can record the schedule
+// without sleeping wall-clock time.
+var sleepFn = func(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

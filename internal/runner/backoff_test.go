@@ -1,0 +1,154 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBackoffScheduleShape asserts the nominal schedule: exponential growth
+// from Base by Factor, capped at Max, with jitter bounding each delay to
+// [nominal*(1-J), nominal*(1+J)) — all pure computation, no sleeping.
+func TestBackoffScheduleShape(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second, Factor: 2, Jitter: 0.5}
+	nominal := []time.Duration{
+		100 * time.Millisecond, // attempt 1
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		3200 * time.Millisecond,
+		5 * time.Second, // capped
+		5 * time.Second,
+	}
+	for i, n := range nominal {
+		attempt := i + 1
+		d := b.Delay("sim/compress/lbic-4x2/i1000000", attempt)
+		lo := time.Duration(float64(n) * 0.5)
+		hi := time.Duration(float64(n) * 1.5)
+		if hi > b.Max {
+			hi = b.Max
+		}
+		if d < lo || d > hi {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", attempt, d, lo, hi)
+		}
+	}
+}
+
+// TestBackoffDeterministicJitter: same (key, attempt) always produces the
+// same delay; different keys decorrelate.
+func TestBackoffDeterministicJitter(t *testing.T) {
+	b := Backoff{} // default schedule
+	for attempt := 1; attempt <= 5; attempt++ {
+		a := b.Delay("cell-a", attempt)
+		if again := b.Delay("cell-a", attempt); again != a {
+			t.Fatalf("attempt %d: delay not deterministic (%v then %v)", attempt, a, again)
+		}
+	}
+	same := 0
+	for attempt := 1; attempt <= 8; attempt++ {
+		if b.Delay("cell-a", attempt) == b.Delay("cell-b", attempt) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Error("jitter identical across keys for all attempts; keys do not decorrelate")
+	}
+}
+
+func TestBackoffZeroValueIsDefault(t *testing.T) {
+	var b Backoff
+	d := b.Delay("k", 1)
+	if d <= 0 || d > DefaultBackoff.Max {
+		t.Errorf("zero-value Backoff attempt-1 delay = %v, want within the default schedule", d)
+	}
+	none := Backoff{Base: -1}
+	for attempt := 1; attempt <= 4; attempt++ {
+		if d := none.Delay("k", attempt); d != 0 {
+			t.Errorf("Base<0 attempt %d: delay = %v, want 0", attempt, d)
+		}
+	}
+}
+
+func TestBackoffJitterClamped(t *testing.T) {
+	b := Backoff{Base: time.Second, Max: time.Minute, Factor: 2, Jitter: 5}
+	for attempt := 1; attempt <= 6; attempt++ {
+		d := b.Delay("k", attempt)
+		if d < 0 || d > time.Minute {
+			t.Errorf("attempt %d: delay %v outside [0, Max]", attempt, d)
+		}
+	}
+}
+
+// TestRunRetryFollowsBackoffSchedule swaps the package sleep hook so the
+// retry loop's schedule is recorded instead of slept: Options.Retries worth
+// of waits, each exactly Backoff.Delay(key, attempt), no wall-clock cost.
+func TestRunRetryFollowsBackoffSchedule(t *testing.T) {
+	var recorded []time.Duration
+	old := sleepFn
+	sleepFn = func(ctx context.Context, d time.Duration) error {
+		recorded = append(recorded, d)
+		return ctx.Err()
+	}
+	defer func() { sleepFn = old }()
+
+	b := Backoff{Base: 50 * time.Millisecond, Max: time.Second, Factor: 3, Jitter: 0.25}
+	const retries = 3
+	tries := 0
+	cells := []Cell[int]{{Key: "flaky/cell", Run: func(context.Context) (int, error) {
+		tries++
+		return 0, errors.New("always fails")
+	}}}
+	out, _ := Run(context.Background(), cells, Options{Retries: retries, Backoff: b, KeepGoing: true})
+
+	if tries != retries+1 {
+		t.Fatalf("cell executed %d times, want %d (Options.Retries honored)", tries, retries+1)
+	}
+	if out.Results[0].Attempts != retries+1 {
+		t.Errorf("Attempts = %d, want %d", out.Results[0].Attempts, retries+1)
+	}
+	if len(recorded) != retries {
+		t.Fatalf("recorded %d backoff waits, want %d", len(recorded), retries)
+	}
+	for i, d := range recorded {
+		want := b.Delay("flaky/cell", i+1)
+		if d != want {
+			t.Errorf("wait %d = %v, want Delay(key, %d) = %v", i, d, i+1, want)
+		}
+	}
+	// The schedule must grow: attempt 2's nominal delay triples attempt 1's,
+	// which jitter (±25%) cannot invert.
+	if recorded[1] <= recorded[0] {
+		t.Errorf("backoff not growing: %v then %v", recorded[0], recorded[1])
+	}
+}
+
+// TestRunBackoffSleepCanceledStopsRetrying: a context canceled during the
+// backoff wait ends the cell with its own error instead of burning the
+// remaining attempts.
+func TestRunBackoffSleepCanceledStopsRetrying(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	old := sleepFn
+	sleepFn = func(ctx context.Context, d time.Duration) error {
+		cancel() // cancellation arrives mid-wait
+		return context.Canceled
+	}
+	defer func() { sleepFn = old }()
+
+	tries := 0
+	cells := []Cell[int]{{Key: "c", Run: func(context.Context) (int, error) {
+		tries++
+		return 0, errors.New("transient")
+	}}}
+	out, err := Run(ctx, cells, Options{Retries: 5, KeepGoing: true})
+	if tries != 1 {
+		t.Errorf("cell executed %d times, want 1 (no retries after canceled wait)", tries)
+	}
+	if out.Results[0].Err == nil {
+		t.Error("cell error lost")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Run err = %v, want context.Canceled", err)
+	}
+}

@@ -57,6 +57,10 @@ type Options struct {
 	// cancellations, and skips are never retried — a hung cell would just
 	// hang again.
 	Retries int
+	// Backoff schedules the wait before each re-attempt. The zero value
+	// selects DefaultBackoff (capped exponential with deterministic jitter);
+	// set Backoff.Base < 0 for immediate retries.
+	Backoff Backoff
 	// KeepGoing makes Run return a nil error even when cells failed, leaving
 	// per-cell errors in the Outcome; without it the first failure stops the
 	// sweep (in-flight cells finish, unstarted ones are marked ErrSkipped).
@@ -259,7 +263,15 @@ func runCell[T any](ctx context.Context, c Cell[T], opts Options) Result[T] {
 		if err == nil || attempt > opts.Retries || !retriable(err) {
 			break
 		}
+		// Capped exponential backoff with deterministic jitter before the
+		// next attempt; a canceled sweep stops waiting and keeps the cell's
+		// own error (the cancellation is reported at the Run level).
+		d := opts.Backoff.Delay(c.Key, attempt)
 		span.Event("retry")
+		span.SetAttr("backoff_ns", d.Nanoseconds())
+		if sleepFn(ctx, d) != nil {
+			break
+		}
 	}
 	res.Elapsed = time.Since(start)
 	span.SetAttr("attempts", res.Attempts)

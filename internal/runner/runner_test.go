@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -281,6 +282,58 @@ func TestJournalSkipsCorruptLines(t *testing.T) {
 	}
 	if _, ok := j2.Lookup("torn"); ok {
 		t.Error("corrupt entry resurrected")
+	}
+}
+
+// TestJournalMidWriteFailureLeavesResumableJournal: a write failure halfway
+// through a sweep (the fd goes bad under the journal — disk full, killed
+// process, revoked mount) must not poison the checkpoint: entries recorded
+// before the failure stay resumable, later records are served from memory
+// for the running sweep, and Close surfaces the sticky write error.
+func TestJournalMidWriteFailureLeavesResumableJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("before", 1)
+	// Kill the fd out from under the journal: every later write fails the
+	// way it would if the process lost the file mid-sweep.
+	if err := j.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j.Record("after", 2)
+
+	// The running sweep still benefits from the in-memory entry.
+	if _, ok := j.Lookup("after"); !ok {
+		t.Error("in-memory entry lost after write failure")
+	}
+	// fail() is what Record's marshal path uses; a direct failure must also
+	// be sticky and must not displace the first error.
+	j.fail(errors.New("second failure"))
+	err = j.Close()
+	if err == nil {
+		t.Fatal("Close() = nil, want the sticky write error")
+	}
+	if got := err.Error(); !strings.Contains(got, `"after"`) {
+		t.Errorf("Close() = %v, want the first (mid-write) failure", err)
+	}
+
+	// The journal on disk is still a valid checkpoint: resuming loads the
+	// pre-failure entry and reruns only the lost cell.
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Resumed() != 1 {
+		t.Fatalf("Resumed() = %d, want 1", j2.Resumed())
+	}
+	if _, ok := j2.Lookup("before"); !ok {
+		t.Error("pre-failure entry lost")
+	}
+	if _, ok := j2.Lookup("after"); ok {
+		t.Error("failed write resurrected on resume")
 	}
 }
 

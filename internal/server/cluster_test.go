@@ -1,0 +1,273 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"lbic"
+	"lbic/client"
+	"lbic/internal/server"
+)
+
+// fakeRemote is a scripted RemoteExecutor: either serves canned bytes or
+// fails every dispatch, and records the keys it was asked for.
+type fakeRemote struct {
+	report []byte
+	err    error
+
+	mu   sync.Mutex
+	keys []string
+}
+
+func (f *fakeRemote) Execute(ctx context.Context, req client.SimulateRequest, key string) ([]byte, error) {
+	f.mu.Lock()
+	f.keys = append(f.keys, key)
+	f.mu.Unlock()
+	return f.report, f.err
+}
+
+func (f *fakeRemote) Status() client.ClusterStatus {
+	return client.ClusterStatus{Fingerprint: "fake"}
+}
+
+func (f *fakeRemote) calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.keys)
+}
+
+func TestRemoteExecutorServesVerbatim(t *testing.T) {
+	canned := []byte(`{"schema":"lbic-run-report/v1","canned":true}`)
+	remote := &fakeRemote{report: canned}
+	_, c := newTestServer(t, server.Options{Remote: remote, Role: "coordinator"})
+	got, err := c.Simulate(context.Background(), client.SimulateRequest{
+		Benchmark: "compress", Port: client.Port("true-1"), Insts: testInsts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, canned) {
+		t.Errorf("served %s, want the remote's bytes passed through verbatim", got)
+	}
+	if remote.calls() != 1 {
+		t.Errorf("remote dispatched %d times, want 1", remote.calls())
+	}
+	if n := counter(t, c, "server.remote_cells"); n != 1 {
+		t.Errorf("server.remote_cells = %d, want 1", n)
+	}
+}
+
+func TestRemoteExecutorFailureFallsBackByteIdentical(t *testing.T) {
+	remote := &fakeRemote{err: errors.New("no healthy workers")}
+	_, c := newTestServer(t, server.Options{Remote: remote, Role: "coordinator"})
+	got, err := c.Simulate(context.Background(), client.SimulateRequest{
+		Benchmark: "compress", Port: client.Port("lbic-4x2"), Insts: testInsts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Graceful degradation: with the whole cluster unreachable, the
+	// coordinator's own execution must serve the exact standalone bytes.
+	if want := directReport(t, "compress", "lbic-4x2", testInsts); !bytes.Equal(got, want) {
+		t.Error("degraded report differs from direct simulation")
+	}
+	if n := counter(t, c, "server.local_fallbacks"); n != 1 {
+		t.Errorf("server.local_fallbacks = %d, want 1", n)
+	}
+}
+
+func TestRemoteExecutorSkippedOnResultCacheHit(t *testing.T) {
+	remote := &fakeRemote{err: errors.New("down")}
+	_, c := newTestServer(t, server.Options{Remote: remote, Role: "coordinator"})
+	req := client.SimulateRequest{Benchmark: "compress", Port: client.Port("true-1"), Insts: testInsts}
+	ctx := context.Background()
+	if _, err := c.Simulate(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Simulate(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	// The second request is a result-cache hit; the cluster must not be
+	// consulted again for a cell this process already holds.
+	if remote.calls() != 1 {
+		t.Errorf("remote dispatched %d times, want 1 (cache hit must not re-dispatch)", remote.calls())
+	}
+}
+
+func TestClusterEndpoint(t *testing.T) {
+	_, standalone := newTestServer(t, server.Options{})
+	if _, err := standalone.Cluster(context.Background()); err == nil {
+		t.Error("GET /v1/cluster on a standalone server succeeded, want 404")
+	} else {
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+			t.Errorf("standalone /v1/cluster error = %v, want 404", err)
+		}
+	}
+
+	_, coord := newTestServer(t, server.Options{Remote: &fakeRemote{}, Role: "coordinator"})
+	st, err := coord.Cluster(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fingerprint != "fake" {
+		t.Errorf("cluster status fingerprint = %q, want the executor's snapshot", st.Fingerprint)
+	}
+	h, err := coord.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Role != "coordinator" {
+		t.Errorf("health role = %q, want coordinator", h.Role)
+	}
+}
+
+func TestRetryAfterGrowsWithQueueDepth(t *testing.T) {
+	// The backlog estimate before any cell settles assumes 1s/cell, so with
+	// MaxParallel 1 a rejected request should be told to come back in about
+	// queue-depth seconds. Big per-cell budgets keep the sweep's cells
+	// unfinished while the rejections are provoked.
+	retryAfter := func(depth int) int {
+		t.Helper()
+		// TraceCacheBytes -1 keeps the heavy cells on the emulator-driven
+		// path, which honors cancellation: Close must not leave a 50M-inst
+		// trace recording burning CPU under the rest of the suite.
+		_, c := newTestServer(t, server.Options{MaxParallel: 1, QueueLimit: depth, TraceCacheBytes: -1})
+		ctx := context.Background()
+		// One sweep of depth distinct heavy cells fills the queue exactly
+		// (identical cells would collapse into one unit of work).
+		if _, err := c.Sweep(ctx, client.SweepRequest{
+			Benchmarks: lbic.BenchmarkNames()[:depth],
+			Ports:      []client.PortSpec{client.Port("true-1")},
+			Insts:      50_000_000,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(c.BaseURL+"/v1/simulate", "application/json",
+			bytes.NewReader([]byte(`{"schema":"lbic-sim-request/v1","benchmark":"compress","port":"true-1","insts":1000}`)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("status = %d, want 429", resp.StatusCode)
+		}
+		ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("Retry-After %q not an integer: %v", resp.Header.Get("Retry-After"), err)
+		}
+		return ra
+	}
+	shallow := retryAfter(2)
+	deep := retryAfter(8)
+	if deep <= shallow {
+		t.Errorf("Retry-After did not grow with queue depth: depth 2 -> %ds, depth 8 -> %ds", shallow, deep)
+	}
+	if shallow < 1 || deep > 120 {
+		t.Errorf("Retry-After outside [1, 120]: %d, %d", shallow, deep)
+	}
+}
+
+func TestRetryAfterDrainingFloor(t *testing.T) {
+	srv, c := newTestServer(t, server.Options{})
+	srv.BeginDrain()
+	resp, err := http.Post(c.BaseURL+"/v1/simulate", "application/json",
+		bytes.NewReader([]byte(`{"schema":"lbic-sim-request/v1","benchmark":"compress","port":"true-1","insts":1000}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 while draining", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra < 5 {
+		t.Errorf("draining Retry-After = %d, want the 5s rolling-restart floor", ra)
+	}
+}
+
+func TestDrainUnderLoadCompletesInFlightSweep(t *testing.T) {
+	srv, c := newTestServer(t, server.Options{MaxParallel: 2})
+	ctx := context.Background()
+	st, err := c.Sweep(ctx, client.SweepRequest{
+		Benchmarks: []string{"compress", "li"},
+		Ports:      []client.PortSpec{client.Port("true-1"), client.Port("bank-4")},
+		Insts:      testInsts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Race the drain against the running job: admission must close
+	// immediately, while the accepted job keeps its right to finish.
+	srv.BeginDrain()
+	if _, err := c.Sweep(ctx, client.SweepRequest{
+		Benchmarks: []string{"compress"}, Ports: []client.PortSpec{client.Port("true-1")}, Insts: testInsts,
+	}); err == nil {
+		t.Error("sweep accepted while draining")
+	}
+
+	dctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		t.Fatalf("drain did not settle the in-flight sweep: %v", err)
+	}
+	final, err := c.Job(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" || final.Done != final.Total || final.Failed != 0 {
+		t.Errorf("after drain job = %+v, want all %d cells done", final, final.Total)
+	}
+}
+
+func TestJobStreamSSEResume(t *testing.T) {
+	_, c := newTestServer(t, server.Options{})
+	ctx := context.Background()
+	st, err := c.Sweep(ctx, client.SweepRequest{
+		Benchmarks: []string{"compress", "li"},
+		Ports:      []client.PortSpec{client.Port("true-1")},
+		Insts:      testInsts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	// 2 cells + done = ids 0, 1, 2. A resume from id 0 must replay only the
+	// unseen suffix — no double-counting on reconnect.
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+st.ID+"/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	req.Header.Set("Last-Event-ID", "0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(body, []byte("id: 0\n")) {
+		t.Errorf("resumed stream replayed the consumed prefix:\n%s", body)
+	}
+	if !bytes.Contains(body, []byte("id: 1\n")) || !bytes.Contains(body, []byte("id: 2\n")) {
+		t.Errorf("resumed stream missing the unseen suffix:\n%s", body)
+	}
+}

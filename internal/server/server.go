@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -59,6 +60,27 @@ type Options struct {
 	// Log receives one structured line per HTTP request (request ID, method,
 	// route, status, bytes, duration). Default: discard.
 	Log *slog.Logger
+	// Role names how this process serves: "standalone" (default), "worker",
+	// or "coordinator". Reported on /healthz so heartbeats and operators can
+	// tell who answered.
+	Role string
+	// Remote, when non-nil, makes this server a cluster coordinator: cells
+	// that miss the result cache are offered to the remote executor first
+	// (which shards them onto workers with retry and hedging) and only run
+	// in-process when it reports the cluster unavailable — the graceful
+	// degradation path that keeps a sweep completing with zero reachable
+	// workers.
+	Remote RemoteExecutor
+}
+
+// RemoteExecutor is the cluster dispatch contract (implemented by
+// internal/cluster.Dispatcher; an interface here so the server does not
+// depend on the cluster machinery). Execute returns the cell's report
+// bytes, or an error meaning "the cluster could not serve this cell — run
+// it locally". Status feeds GET /v1/cluster.
+type RemoteExecutor interface {
+	Execute(ctx context.Context, req client.SimulateRequest, key string) ([]byte, error)
+	Status() client.ClusterStatus
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +103,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 64
+	}
+	if o.Role == "" {
+		o.Role = "standalone"
 	}
 	return o
 }
@@ -132,6 +157,12 @@ type Server struct {
 	mCellFailures     atomic.Uint64
 
 	mSingleflightShared atomic.Uint64
+	mRemoteCells        atomic.Uint64
+	mLocalFallbacks     atomic.Uint64
+
+	// avgCellNS is an EWMA of executed-cell wall time, feeding the computed
+	// Retry-After on 429/503 (backlog depth × average cell time / slots).
+	avgCellNS atomic.Int64
 
 	// nextReq numbers generated request IDs (requests arriving without an
 	// X-Request-Id header).
@@ -186,6 +217,7 @@ func (s *Server) Handler() http.Handler {
 		{"GET /v1/jobs/{id}", s.handleJob},
 		{"GET /v1/jobs/{id}/stream", s.handleJobStream},
 		{"GET /v1/jobs/{id}/trace", s.handleJobTrace},
+		{"GET /v1/cluster", s.handleCluster},
 		{"GET /healthz", s.handleHealthz},
 		{"GET /metrics", s.handleMetrics},
 	}
@@ -352,23 +384,68 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-// writeError writes the uniform error body; 429 and 503 carry Retry-After.
-func writeError(w http.ResponseWriter, code int, msg string) {
+// writeError writes the uniform error body; 429 and 503 carry a computed
+// Retry-After.
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
 	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	writeJSON(w, code, client.ErrorResponse{Error: msg})
+}
+
+// retryAfterSeconds estimates when a rejected client should come back: the
+// time for the current admission backlog to drain through the parallelism
+// bound at the observed average cell duration (1s assumed before the first
+// cell settles), clamped to [1, 120]. While draining, the floor rises to
+// 5s — the process is going away and, in a rolling restart, will take at
+// least that long to come back.
+func (s *Server) retryAfterSeconds() int {
+	s.admitMu.Lock()
+	queued, draining := s.queued, s.draining
+	s.admitMu.Unlock()
+	avg := time.Duration(s.avgCellNS.Load())
+	if avg <= 0 {
+		avg = time.Second
+	}
+	est := time.Duration(queued) * avg / time.Duration(s.opts.MaxParallel)
+	secs := int((est + time.Second - 1) / time.Second)
+	lo := 1
+	if draining {
+		lo = 5
+	}
+	if secs < lo {
+		secs = lo
+	}
+	if secs > 120 {
+		secs = 120
+	}
+	return secs
+}
+
+// observeCell feeds one executed cell's wall time into the EWMA behind
+// retryAfterSeconds (α = 1/4).
+func (s *Server) observeCell(elapsed time.Duration) {
+	for {
+		old := s.avgCellNS.Load()
+		upd := old + (int64(elapsed)-old)/4
+		if old == 0 {
+			upd = int64(elapsed)
+		}
+		if s.avgCellNS.CompareAndSwap(old, upd) {
+			return
+		}
+	}
 }
 
 // rejectAdmission maps an admit error to its status.
 func (s *Server) rejectAdmission(w http.ResponseWriter, err error) {
 	if err == errDraining {
 		s.mRejectedDraining.Add(1)
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		s.writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	s.mRejectedQueue.Add(1)
-	writeError(w, http.StatusTooManyRequests, err.Error())
+	s.writeError(w, http.StatusTooManyRequests, err.Error())
 }
 
 // decodeRequest strictly decodes a schema-versioned request body of at most
@@ -393,7 +470,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// larger request than the name-only endpoints.
 	if err := decodeRequest(r, &req, &req.Schema, 8<<20); err != nil {
 		s.mBadRequests.Add(1)
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	var sp cellSpec
@@ -401,7 +478,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if len(req.Trace) > 0 {
 		if req.Benchmark != "" || req.Pattern != "" {
 			s.mBadRequests.Add(1)
-			writeError(w, http.StatusBadRequest, "trace is mutually exclusive with benchmark and pattern")
+			s.writeError(w, http.StatusBadRequest, "trace is mutually exclusive with benchmark and pattern")
 			return
 		}
 		sp, err = s.compileTraceSpec(req.Trace, req.Port, req.Insts, req.CPU, req.Mem)
@@ -410,7 +487,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		s.mBadRequests.Add(1)
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	release, err := s.admit(1)
@@ -421,7 +498,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	cr := s.executeCell(r.Context(), sp)
 	if cr.Error != "" {
-		writeError(w, http.StatusInternalServerError, cr.Error)
+		s.writeError(w, http.StatusInternalServerError, cr.Error)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -441,12 +518,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req client.SweepRequest
 	if err := decodeRequest(r, &req, &req.Schema, 1<<20); err != nil {
 		s.mBadRequests.Add(1)
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if len(req.Ports) == 0 {
 		s.mBadRequests.Add(1)
-		writeError(w, http.StatusBadRequest, "ports must list at least one organization")
+		s.writeError(w, http.StatusBadRequest, "ports must list at least one organization")
 		return
 	}
 	benchmarks := req.Benchmarks
@@ -460,7 +537,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			sp, err := s.compileSpec(b, "", p, req.Insts, req.CPU, req.Mem)
 			if err != nil {
 				s.mBadRequests.Add(1)
-				writeError(w, http.StatusBadRequest, fmt.Sprintf("%s × %s: %v", b, p, err))
+				s.writeError(w, http.StatusBadRequest, fmt.Sprintf("%s × %s: %v", b, p, err))
 				return
 			}
 			// Identical cells listed twice are one unit of work.
@@ -479,7 +556,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		release()
 		s.mRejectedQueue.Add(1)
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		s.writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	}
 	go s.runJob(j, specs, release)
@@ -550,7 +627,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.mRequests.Add(1)
 	j, ok := s.lookupJob(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job")
+		s.writeError(w, http.StatusNotFound, "unknown job")
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status(true))
@@ -560,7 +637,7 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	s.mRequests.Add(1)
 	j, ok := s.lookupJob(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job")
+		s.writeError(w, http.StatusNotFound, "unknown job")
 		return
 	}
 	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
@@ -570,16 +647,26 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("Content-Type", "application/jsonl")
 	}
+	i := 0
+	// SSE reconnects resume: the id: field on every event is its index in
+	// the job's stream, and a Last-Event-ID header (sent automatically by
+	// EventSource and by client.StreamSSE) skips the prefix the subscriber
+	// already consumed — no cell is ever double-counted across a dropped
+	// connection.
+	if sse {
+		if last, err := strconv.Atoi(r.Header.Get("Last-Event-ID")); err == nil && last >= 0 {
+			i = last + 1
+		}
+	}
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
-	i := 0
 	for {
 		evs, wake, final := j.next(i)
-		for _, ev := range evs {
+		for k, ev := range evs {
 			if sse {
-				fmt.Fprintf(w, "event: %s\ndata: ", ev.Type)
+				fmt.Fprintf(w, "event: %s\nid: %d\ndata: ", ev.Type, i+k)
 			}
 			if err := enc.Encode(ev); err != nil {
 				return
@@ -610,9 +697,15 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 // buildHealth assembles the health body: status plus the binary's build
 // identity, so "which lbicd answered?" is one curl away.
 func (s *Server) buildHealth(status string) client.Health {
+	s.admitMu.Lock()
+	queued := s.queued
+	s.admitMu.Unlock()
 	h := client.Health{
 		Status:        status,
+		Role:          s.opts.Role,
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		MaxParallel:   s.opts.MaxParallel,
+		QueuedCells:   queued,
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		h.GoVersion = bi.GoVersion
@@ -625,6 +718,18 @@ func (s *Server) buildHealth(status string) client.Health {
 		}
 	}
 	return h
+}
+
+// handleCluster serves the coordinator's membership and dispatch view. On a
+// worker or standalone server (no remote executor) it is a 404: there is no
+// cluster to describe.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	s.mRequests.Add(1)
+	if s.opts.Remote == nil {
+		s.writeError(w, http.StatusNotFound, "not a coordinator (no cluster configured)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.opts.Remote.Status())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -646,7 +751,7 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	s.mRequests.Add(1)
 	j, ok := s.lookupJob(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job")
+		s.writeError(w, http.StatusNotFound, "unknown job")
 		return
 	}
 	spans := j.trace.Snapshot()
@@ -675,6 +780,10 @@ func (s *Server) metricsRegistry() *metrics.Registry {
 	add("server.cells_executed", "simulation cells actually run (not served from a cache or shared flight)", s.mCellsExecuted.Load())
 	add("server.cell_failures", "executed cells that failed", s.mCellFailures.Load())
 	add("server.singleflight_shared", "requests served by waiting on an identical in-flight cell", s.mSingleflightShared.Load())
+	if s.opts.Remote != nil {
+		add("server.remote_cells", "cells served by the worker cluster", s.mRemoteCells.Load())
+		add("server.local_fallbacks", "cells run in-process because the cluster was unavailable", s.mLocalFallbacks.Load())
+	}
 	s.admitMu.Lock()
 	queued := s.queued
 	s.admitMu.Unlock()

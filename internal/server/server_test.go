@@ -434,8 +434,8 @@ func TestJobStreamSSE(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Contains(body, []byte("event: cell\ndata: ")) || !bytes.Contains(body, []byte("event: done\ndata: ")) {
-		t.Errorf("SSE body missing events:\n%s", body)
+	if !bytes.Contains(body, []byte("event: cell\nid: 0\ndata: ")) || !bytes.Contains(body, []byte("event: done\nid: 1\ndata: ")) {
+		t.Errorf("SSE body missing events (with id fields):\n%s", body)
 	}
 }
 
