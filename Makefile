@@ -27,26 +27,29 @@ test-short:
 	$(GO) test -short ./...
 
 # bench runs the full benchmark suite (table regenerations, simulator
-# throughput live vs trace replay, the zero-alloc core microbenchmark, and
-# the lbicd served-vs-direct latency comparison) and records the results as
-# JSON. BENCH_PR5.json in the repo root is the checked-in snapshot;
-# regenerate it here after performance work.
-BENCH_OUT ?= BENCH_PR5.json
+# throughput live vs trace replay, the zero-alloc core microbenchmark, the
+# lane-batched stepping microbenchmark, and the lbicd served-vs-direct
+# latency comparison) and records the results as JSON. BENCH_PR9.json in the
+# repo root is the checked-in snapshot; regenerate it here after performance
+# work.
+BENCH_OUT ?= BENCH_PR9.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . ./internal/cpu/ ./internal/server/ \
 		| $(GO) run ./scripts/benchjson -o $(BENCH_OUT)
 
 # bench-smoke is the CI gate: one iteration of every benchmark, parsed by
-# benchjson so a broken benchmark or malformed output fails the build.
+# benchjson so a broken benchmark or malformed output fails the build, plus
+# one lane-batched table sweep so the -lanes path is exercised end to end.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . ./internal/cpu/ ./internal/server/ \
 		| $(GO) run ./scripts/benchjson -o /dev/null
+	$(GO) run ./cmd/lbictables -all -insts 5000 -jobs 4 -lanes 4 > /dev/null
 
 # bench-diff is the perf regression gate: ns/op drift between the two most
 # recent checked-in benchmark snapshots past the threshold fails unless
 # BENCH_ALLOWLIST.json acknowledges it with a reason.
-BENCH_OLD ?= BENCH_PR4.json
-BENCH_NEW ?= BENCH_PR5.json
+BENCH_OLD ?= BENCH_PR5.json
+BENCH_NEW ?= BENCH_PR9.json
 bench-diff:
 	$(GO) run ./scripts/benchjson -diff $(BENCH_OLD) -against $(BENCH_NEW) \
 		-threshold 10 -allowlist BENCH_ALLOWLIST.json

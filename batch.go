@@ -1,0 +1,245 @@
+package lbic
+
+// This file is the batched (vectorized) front end of the simulator: one
+// dynamic instruction stream driving K independent machine configurations in
+// loose lockstep. Every table in the paper sweeps the same reference stream
+// across many port organizations; the scalar API decodes (or emulates) that
+// stream once per cell, so a K-wide sweep pays K identical passes over
+// identical bytes. SimulateBatch pays one: the stream feeds a
+// tracecache.SharedCursor, each lane gets a LaneReader over it, and
+// cpu.RunLanes bursts the lanes through the shared decode window. Each
+// lane's Result is byte-identical to the scalar path — the lanes run the
+// exact scalar step loop over the exact scalar record sequence.
+
+import (
+	"context"
+	"fmt"
+
+	"lbic/internal/cpu"
+	"lbic/internal/emu"
+	"lbic/internal/oracle"
+	"lbic/internal/trace"
+	"lbic/internal/tracecache"
+	"lbic/internal/tracing"
+)
+
+// batchWindow is the shared cursor's decode window: two scheduler chunks, so
+// the lane at the frontier never laps the lane that has not run this round.
+const batchWindow = 2 * cpu.LaneChunk
+
+// checkBatchConfigs validates the batch-wide invariants: at least one lane,
+// and one shared positive instruction budget. Equal budgets are what let a
+// live source (emulator or generator) stop at exactly the right instruction
+// for every lane — including a Verify lane's final-memory check.
+func checkBatchConfigs(name string, cfgs []Config) (uint64, error) {
+	if len(cfgs) == 0 {
+		return 0, fmt.Errorf("lbic: batch of %q has no lanes", name)
+	}
+	insts := cfgs[0].MaxInsts
+	if insts == 0 {
+		return 0, fmt.Errorf("lbic: batch of %q needs a positive shared MaxInsts", name)
+	}
+	for i, cfg := range cfgs {
+		if cfg.MaxInsts != insts {
+			return 0, fmt.Errorf("lbic: batch of %q mixes instruction budgets (lane 0 %d, lane %d %d)",
+				name, insts, i, cfg.MaxInsts)
+		}
+	}
+	return insts, nil
+}
+
+// runBatch wires one sim per configuration onto lane readers of a shared
+// cursor over src, runs the lanes, and assembles per-lane results. machine
+// is the live emulator behind src when there is one (Verify lanes finish
+// against its memory); tcache is the cache src replays from, if any.
+func runBatch(ctx context.Context, verb, name string, src trace.Stream, machine *emu.Machine,
+	tcache *TraceCache, prog *Program, cfgs []Config) ([]Result, []error, error) {
+	cur := tracecache.NewSharedCursor(src, batchWindow)
+	if machine == nil {
+		// Replayed and synthetic sources may be read ahead freely; only a
+		// live emulator must be drawn exactly as far as the lanes consume.
+		cur.SetBatchFill(cpu.LaneChunk)
+	}
+	sims := make([]*sim, len(cfgs))
+	cores := make([]*cpu.Core, len(cfgs))
+	for i, cfg := range cfgs {
+		s, err := newSim(cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lbic: batch lane %d (%s): %w", i, cfg.Port.Name(), err)
+		}
+		s.machine = machine
+		s.tcache = tcache
+		if err := s.wireCore(cur.NewLaneReader(), cfg); err != nil {
+			return nil, nil, fmt.Errorf("lbic: batch lane %d (%s): %w", i, cfg.Port.Name(), err)
+		}
+		if cfg.Verify {
+			s.check = oracle.NewChecker(prog, s.arb)
+			s.core.SetVerifier(s.check)
+		}
+		sims[i] = s
+		cores[i] = s.core
+	}
+	laneErrs := cpu.RunLanes(ctx, cores)
+	results := make([]Result, len(cfgs))
+	for i, s := range sims {
+		if laneErrs[i] != nil {
+			laneErrs[i] = fmt.Errorf("lbic: %s %q on %s: %w", verb, name, cfgs[i].Port.Name(), laneErrs[i])
+			continue
+		}
+		if err := s.finishVerify(true); err != nil {
+			laneErrs[i] = fmt.Errorf("lbic: %s %q on %s: %w", verb, name, cfgs[i].Port.Name(), err)
+			continue
+		}
+		results[i] = s.result(name, cfgs[i], s.core.Stats())
+	}
+	return results, laneErrs, nil
+}
+
+// laneSpans opens one "simulate <name>" child span per lane (siblings under
+// the caller's batch span) and returns a closer that stamps each lane's
+// outcome, so a traced batched sweep still accounts simulation down to
+// individual runs with the attributes observability consumers rely on.
+func laneSpans(ctx context.Context, name, traceCache string, cfgs []Config) (func([]Result, []error), []*tracing.Span) {
+	spans := make([]*tracing.Span, len(cfgs))
+	for i, cfg := range cfgs {
+		_, sp := tracing.Start(ctx, "simulate "+name)
+		sp.SetAttr("benchmark", name)
+		sp.SetAttr("port", cfg.Port.Key())
+		sp.SetAttr("lane", i)
+		sp.SetAttr("trace_cache", traceCache)
+		spans[i] = sp
+	}
+	return func(results []Result, errs []error) {
+		for i, sp := range spans {
+			if errs != nil && errs[i] != nil {
+				sp.SetAttr("error", errs[i].Error())
+			} else if results != nil {
+				sp.SetAttr("cycles", results[i].Cycles)
+				sp.SetAttr("insts", results[i].Insts)
+				sp.SetAttr("ipc", results[i].IPC)
+			}
+			sp.End()
+		}
+	}, spans
+}
+
+// SimulateBatch runs prog under every configuration in cfgs — typically the
+// port axis of one sweep row — stepping all lanes off one shared stream
+// cursor: one decode (or one live emulation) per dynamic instruction instead
+// of one per lane. All lanes must share one positive MaxInsts. Lanes may
+// set Verify (each verified lane gets its own invariant checker; the shared
+// live emulator provides the final memory image), but a batch with any
+// Verify lane runs the emulator rather than replaying the trace cache, like
+// the scalar path does.
+//
+// Per-lane Results (and their serialized run reports) are byte-identical to
+// SimulateContext of the same configuration. The returned slices are
+// parallel to cfgs: errs[i] is nil exactly when results[i] is valid. The
+// batch-level error reports setup failures (or a panic escaping any lane's
+// simulation), in which case no lane completed.
+func SimulateBatch(ctx context.Context, prog *Program, cfgs []Config) (results []Result, errs []error, err error) {
+	insts, err := checkBatchConfigs(prog.Name, cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(cfgs) == 1 {
+		res, rerr := SimulateContext(ctx, prog, cfgs[0])
+		return []Result{res}, []error{rerr}, nil
+	}
+	ctx, span := tracing.Start(ctx, fmt.Sprintf("simulate batch %s x%d", prog.Name, len(cfgs)))
+	defer span.End()
+	defer recoverSimPanic(prog, &err)
+	defer func() {
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+	}()
+	span.SetAttr("benchmark", prog.Name)
+	span.SetAttr("lanes", len(cfgs))
+	span.SetAttr("insts", insts)
+
+	replay := true
+	tc := cfgs[0].Trace
+	for _, cfg := range cfgs {
+		if cfg.Trace == nil || cfg.Trace != tc || cfg.Verify {
+			replay = false
+			break
+		}
+	}
+	var (
+		src     trace.Stream
+		machine *emu.Machine
+		tcache  *TraceCache
+		tcAttr  string
+	)
+	if replay {
+		tcAttr = "miss"
+		if tc.Contains(prog, insts) {
+			tcAttr = "hit"
+		}
+		tr, rerr := tc.Recorded(ctx, prog, insts)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		src, tcache = tr.NewReader(), tc
+	} else {
+		tcAttr = "off"
+		machine, err = emu.New(prog)
+		if err != nil {
+			return nil, nil, err
+		}
+		src = machine
+	}
+	span.SetAttr("trace_cache", tcAttr)
+	span.SetAttr("replayed", replay)
+	finish, _ := laneSpans(ctx, prog.Name, tcAttr, cfgs)
+	results, errs, err = runBatch(ctx, "simulating", prog.Name, src, machine, tcache, prog, cfgs)
+	finish(results, errs)
+	return results, errs, err
+}
+
+// SimulateGeneratorBatch is SimulateBatch for a synthetic generator stream:
+// the generator synthesizes each dynamic instruction once and every lane
+// consumes it. Verify is rejected exactly as in SimulateGenerator. Per-lane
+// Results are byte-identical to SimulateGenerator of the same configuration.
+func SimulateGeneratorBatch(ctx context.Context, p GenParams, cfgs []Config) (results []Result, errs []error, err error) {
+	rp, err := p.Resolve()
+	if err != nil {
+		return nil, nil, err
+	}
+	name := rp.Key()
+	insts, err := checkBatchConfigs(name, cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, cfg := range cfgs {
+		if cfg.Verify {
+			return nil, nil, fmt.Errorf("lbic: generating %q: lane %d sets Verify, which needs a live program, not a synthetic stream", name, i)
+		}
+	}
+	if len(cfgs) == 1 {
+		res, rerr := SimulateGenerator(ctx, p, cfgs[0])
+		return []Result{res}, []error{rerr}, nil
+	}
+	ctx, span := tracing.Start(ctx, fmt.Sprintf("simulate batch %s x%d", name, len(cfgs)))
+	defer span.End()
+	defer func() { recoverRunPanic(name, &err, recover()) }()
+	defer func() {
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+	}()
+	span.SetAttr("benchmark", name)
+	span.SetAttr("lanes", len(cfgs))
+	span.SetAttr("insts", insts)
+	span.SetAttr("trace_cache", "off")
+
+	src, err := rp.Stream()
+	if err != nil {
+		return nil, nil, err
+	}
+	finish, _ := laneSpans(ctx, name, "off", cfgs)
+	results, errs, err = runBatch(ctx, "generating", name, src, nil, nil, nil, cfgs)
+	finish(results, errs)
+	return results, errs, err
+}

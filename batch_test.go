@@ -1,0 +1,215 @@
+package lbic_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"lbic"
+)
+
+// TestSimulateBatchMatchesScalar is the batched stepping core's load-bearing
+// property: a lane batch of K configurations stepping off one shared cursor
+// must produce, for every lane, a report byte-identical to a scalar run of
+// the same configuration — for every port organization, at K ∈ {2, 4, 8},
+// both replaying the trace cache and driving a shared live emulator. The K
+// subtests run in parallel, so -race also covers concurrent batches sharing
+// one trace cache.
+func TestSimulateBatchMatchesScalar(t *testing.T) {
+	prog, err := lbic.BuildBenchmark("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const insts = 30_000
+	orgs := equivPorts()
+	tc := lbic.NewTraceCache(0)
+
+	// Scalar references, one per port organization, computed before the
+	// parallel subtests so every lane compares against the same bytes.
+	want := make([][]byte, len(orgs))
+	for i, port := range orgs {
+		cfg := lbic.DefaultConfig()
+		cfg.Port = port
+		cfg.MaxInsts = insts
+		res, err := lbic.Simulate(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = reportBytes(t, res)
+	}
+
+	for _, k := range []int{2, 4, 8} {
+		for _, replay := range []bool{true, false} {
+			k, replay := k, replay
+			name := "live"
+			if replay {
+				name = "replay"
+			}
+			t.Run(fmt.Sprintf("%s-k%d", name, k), func(t *testing.T) {
+				t.Parallel()
+				cfgs := make([]lbic.Config, k)
+				for i := range cfgs {
+					cfg := lbic.DefaultConfig()
+					cfg.Port = orgs[i%len(orgs)]
+					cfg.MaxInsts = insts
+					if replay {
+						cfg.Trace = tc
+					}
+					cfgs[i] = cfg
+				}
+				results, errs, err := lbic.SimulateBatch(context.Background(), prog, cfgs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range cfgs {
+					if errs[i] != nil {
+						t.Fatalf("lane %d: %v", i, errs[i])
+					}
+					got := reportBytes(t, results[i])
+					if !bytes.Equal(want[i%len(orgs)], got) {
+						t.Errorf("lane %d (%s, %s) diverges from scalar run:\nscalar: %s\nlane:   %s",
+							i, cfgs[i].Port.Name(), name,
+							firstDiff(want[i%len(orgs)], got), firstDiff(got, want[i%len(orgs)]))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSimulateBatchVerified runs a lane batch with the oracle enabled on
+// every lane: the shared live emulator must stop at exactly the instruction
+// budget for each lane's final-memory check to hold.
+func TestSimulateBatchVerified(t *testing.T) {
+	prog, err := lbic.BuildBenchmark("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := []lbic.PortConfig{lbic.BankedPort(4), lbic.LBICPort(4, 2), lbic.IdealPort(2)}
+	cfgs := make([]lbic.Config, len(ports))
+	for i, port := range ports {
+		cfg := lbic.DefaultConfig()
+		cfg.Port = port
+		cfg.MaxInsts = 10_000
+		cfg.Verify = true
+		// A Verify lane must force the live-emulator source even when the
+		// batch could otherwise replay.
+		cfg.Trace = lbic.NewTraceCache(0)
+		cfgs[i] = cfg
+	}
+	results, errs, err := lbic.SimulateBatch(context.Background(), prog, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if errs[i] != nil {
+			t.Fatalf("lane %d: %v", i, errs[i])
+		}
+		if results[i].Verify == nil {
+			t.Errorf("lane %d carries no verification summary", i)
+		}
+		if results[i].TraceCache != nil {
+			t.Errorf("lane %d replayed from the trace cache despite Verify", i)
+		}
+	}
+	for i, cfg := range cfgs {
+		if s := cfg.Trace.Stats(); s.Records != 0 || s.Hits != 0 {
+			t.Errorf("lane %d touched the trace cache: %+v", i, s)
+		}
+	}
+}
+
+// TestSimulateGeneratorBatchMatchesScalar: lanes sharing one synthetic
+// stream must each match a scalar SimulateGenerator of the same
+// configuration byte for byte.
+func TestSimulateGeneratorBatchMatchesScalar(t *testing.T) {
+	params := lbic.GenParams{Kind: "zipf"}
+	ports := []lbic.PortConfig{
+		lbic.IdealPort(4), lbic.BankedPort(4), lbic.LBICPort(4, 2), lbic.ReplicatedPort(2),
+	}
+	const insts = 20_000
+	want := make([][]byte, len(ports))
+	for i, port := range ports {
+		cfg := lbic.DefaultConfig()
+		cfg.Port = port
+		cfg.MaxInsts = insts
+		res, err := lbic.SimulateGenerator(context.Background(), params, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = reportBytes(t, res)
+	}
+	cfgs := make([]lbic.Config, len(ports))
+	for i, port := range ports {
+		cfg := lbic.DefaultConfig()
+		cfg.Port = port
+		cfg.MaxInsts = insts
+		cfgs[i] = cfg
+	}
+	results, errs, err := lbic.SimulateGeneratorBatch(context.Background(), params, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if errs[i] != nil {
+			t.Fatalf("lane %d: %v", i, errs[i])
+		}
+		if got := reportBytes(t, results[i]); !bytes.Equal(want[i], got) {
+			t.Errorf("lane %d (%s) diverges from scalar generator run:\nscalar: %s\nlane:   %s",
+				i, ports[i].Name(), firstDiff(want[i], got), firstDiff(got, want[i]))
+		}
+	}
+}
+
+// TestSimulateBatchSingleLaneDelegates: a batch of one is exactly the scalar
+// path, including its Result and error shape.
+func TestSimulateBatchSingleLaneDelegates(t *testing.T) {
+	prog, err := lbic.BuildBenchmark("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lbic.DefaultConfig()
+	cfg.Port = lbic.BankedPort(4)
+	cfg.MaxInsts = 5_000
+	scalar, err := lbic.Simulate(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, errs, err := lbic.SimulateBatch(context.Background(), prog, []lbic.Config{cfg})
+	if err != nil || errs[0] != nil {
+		t.Fatal(err, errs)
+	}
+	if got, want := reportBytes(t, results[0]), reportBytes(t, scalar); !bytes.Equal(want, got) {
+		t.Errorf("single-lane batch diverges from scalar run")
+	}
+}
+
+// TestSimulateBatchRejectsBadConfigs covers the batch-wide invariants.
+func TestSimulateBatchRejectsBadConfigs(t *testing.T) {
+	prog, err := lbic.BuildBenchmark("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, _, err := lbic.SimulateBatch(ctx, prog, nil); err == nil || !strings.Contains(err.Error(), "no lanes") {
+		t.Errorf("empty batch: got %v", err)
+	}
+	zero := lbic.DefaultConfig()
+	zero.Port = lbic.BankedPort(4)
+	zero.MaxInsts = 0
+	if _, _, err := lbic.SimulateBatch(ctx, prog, []lbic.Config{zero, zero}); err == nil || !strings.Contains(err.Error(), "MaxInsts") {
+		t.Errorf("zero budget: got %v", err)
+	}
+	a, b := zero, zero
+	a.MaxInsts, b.MaxInsts = 1_000, 2_000
+	if _, _, err := lbic.SimulateBatch(ctx, prog, []lbic.Config{a, b}); err == nil || !strings.Contains(err.Error(), "mixes instruction budgets") {
+		t.Errorf("mixed budgets: got %v", err)
+	}
+	v := a
+	v.Verify = true
+	if _, _, err := lbic.SimulateGeneratorBatch(ctx, lbic.GenParams{Kind: "zipf"}, []lbic.Config{a, v}); err == nil || !strings.Contains(err.Error(), "Verify") {
+		t.Errorf("generator Verify lane: got %v", err)
+	}
+}

@@ -708,7 +708,10 @@ func (c *Core) commit() {
 				c.stats.CommitStallStoreBuf++
 				return
 			}
-			slot := (c.sbHead + c.sbCount) % c.cfg.StoreBufferSize
+			slot := c.sbHead + c.sbCount
+			if slot >= c.cfg.StoreBufferSize {
+				slot -= c.cfg.StoreBufferSize
+			}
 			// Waiters parked on the RUU entry migrate to the slot's chain.
 			c.storeBuf[slot] = storeBufEntry{seq: e.dyn.Seq, addr: e.dyn.Addr, size: e.dyn.Size,
 				live: true, waiterHead: e.waiterHead}
@@ -728,7 +731,9 @@ func (c *Core) commit() {
 		}
 		e.state = stEmpty
 		e.deps = e.deps[:0]
-		c.head = (c.head + 1) % c.cfg.RUUSize
+		if c.head++; c.head == c.cfg.RUUSize {
+			c.head = 0
+		}
 		c.count--
 		c.stats.Committed++
 	}
@@ -739,15 +744,26 @@ func (c *Core) commit() {
 func (c *Core) memoryIssue() {
 	c.reqBuf = c.reqBuf[:0]
 	c.reqIdx = c.reqIdx[:0]
-	// Committed stores first: they are the oldest memory operations.
-	for i := 0; i < c.sbCount && len(c.reqBuf) < c.cfg.MemScanDepth; i++ {
-		slot := (c.sbHead + i) % c.cfg.StoreBufferSize
-		sb := &c.storeBuf[slot]
-		if !sb.live || sb.granted {
-			continue
+	// Committed stores first: they are the oldest memory operations. The
+	// scan visits FIFO order but only ungranted live slots contribute, so it
+	// stops once all of them are collected (and never starts when none are).
+	if c.sbUngranted > 0 {
+		slot, left := c.sbHead, c.sbUngranted
+		for i := 0; i < c.sbCount && len(c.reqBuf) < c.cfg.MemScanDepth; i++ {
+			sb := &c.storeBuf[slot]
+			cur := slot
+			if slot++; slot == c.cfg.StoreBufferSize {
+				slot = 0
+			}
+			if !sb.live || sb.granted {
+				continue
+			}
+			c.reqBuf = append(c.reqBuf, ports.Request{Seq: sb.seq, Addr: sb.addr, Store: true})
+			c.reqIdx = append(c.reqIdx, -int32(cur)-1)
+			if left--; left == 0 {
+				break
+			}
 		}
-		c.reqBuf = append(c.reqBuf, ports.Request{Seq: sb.seq, Addr: sb.addr, Store: true})
-		c.reqIdx = append(c.reqIdx, -int32(slot)-1)
 	}
 	for _, idx := range c.memPending {
 		if len(c.reqBuf) >= c.cfg.MemScanDepth {
@@ -822,7 +838,9 @@ func (c *Core) storeWritten(slot int) {
 		if head.live {
 			break
 		}
-		c.sbHead = (c.sbHead + 1) % c.cfg.StoreBufferSize
+		if c.sbHead++; c.sbHead == c.cfg.StoreBufferSize {
+			c.sbHead = 0
+		}
 		c.sbCount--
 	}
 }
@@ -938,7 +956,11 @@ func (c *Core) dispatch() {
 			return
 		}
 		c.peeked = false
-		idx := int32((c.head + c.count) % c.cfg.RUUSize)
+		tail := c.head + c.count
+		if tail >= c.cfg.RUUSize {
+			tail -= c.cfg.RUUSize
+		}
+		idx := int32(tail)
 		c.count++
 		c.stats.Dispatched++
 

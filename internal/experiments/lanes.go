@@ -1,0 +1,357 @@
+package experiments
+
+// Laned sweep execution: simulation cells that consume identical dynamic
+// instruction streams — the same (program, budget) point under different port
+// organizations or core mutations — are grouped into lane batches and stepped
+// in lockstep off one shared decode cursor (lbic.SimulateBatch /
+// lbic.SimulateGeneratorBatch), so each dynamic instruction is decoded or
+// synthesized once per batch instead of once per cell. Cell keys, journaled
+// values, table output, and the failure log are identical to the scalar path;
+// only the execution schedule changes.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"sync"
+	"time"
+
+	"lbic"
+	"lbic/internal/runner"
+)
+
+// simSpec is the batchable description of one simulation cell: everything the
+// laned runner needs to rebuild the cell's Config inside a batch. Cells
+// sharing a group consume byte-identical dynamic streams and may ride in one
+// batch; memoKey identifies the simulated point across key namespaces (two
+// views of one simulation memoize a single Result).
+type simSpec struct {
+	group   string
+	insts   uint64
+	port    lbic.PortConfig
+	mut     func(*lbic.Config)
+	build   func() (*lbic.Program, error) // nil for generator cells
+	gen     *lbic.GenParams               // non-nil for generator cells
+	pick    func(*lbic.Result) float64
+	memoKey string
+}
+
+// specRegistry maps cell keys to their batchable descriptions. Cells without
+// a registered spec (characterization, miss-rate grids) always run scalar.
+type specRegistry struct {
+	mu sync.Mutex
+	m  map[string]simSpec
+}
+
+func (r *specRegistry) put(key string, s simSpec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[key] = s
+}
+
+func (r *specRegistry) get(key string) (simSpec, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.m[key]
+	return s, ok
+}
+
+// resultMemo caches completed simulation Results by memoKey for the lifetime
+// of one sweep, so the same simulated point feeding two tables (e.g. the IPC
+// and conflict-rate views of one generator run) is executed once. Replay
+// determinism makes the second Result identical, so reuse cannot change any
+// output.
+type resultMemo struct {
+	mu sync.Mutex
+	m  map[string]*lbic.Result
+}
+
+func (m *resultMemo) get(key string) (*lbic.Result, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.m[key]
+	return r, ok
+}
+
+func (m *resultMemo) put(key string, r *lbic.Result) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.m[key] = r
+}
+
+// laneOut is one member cell's outcome inside a batch cell's value. It is
+// JSON-serializable so a batch cell round-trips through the journal, though
+// in practice a completed batch journals its members individually and is
+// never itself resumed (the member pre-filter changes the batch composition,
+// and with it the batch key).
+type laneOut struct {
+	Key string  `json:"key"`
+	Val float64 `json:"val"`
+	Err string  `json:"err,omitempty"`
+}
+
+// laned reports whether this sweep routes simulation cells through the
+// batched runner. Fault injection forces the scalar path: injected faults
+// must land on exactly the named cell, not a whole batch.
+func (sw *Sweep) laned() bool {
+	return (sw.Lanes >= 2 || sw.Lanes < 0) && len(sw.InjectPanic) == 0 && len(sw.InjectHang) == 0
+}
+
+// cellNotifier serializes OnCell callbacks issued from inside concurrently
+// running batch cells, matching the runner's own serialization guarantee.
+type cellNotifier struct {
+	mu sync.Mutex
+	fn func(key string, err error)
+}
+
+func (n *cellNotifier) settle(key string, err error) {
+	if n.fn == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fn(key, err)
+}
+
+// member pairs a cell with its registered spec for batching.
+type member struct {
+	cell runner.Cell[float64]
+	spec simSpec
+}
+
+// runLaned is sweepRun's batched execution path. It settles journal- and
+// memo-cached cells up front, groups the rest by shared stream, runs lane
+// batches (width capped by Sweep.Lanes when >= 2) followed by the scalar
+// remainder, and demultiplexes per-member outcomes into the same map and
+// failure log the scalar path produces.
+func (sw *Sweep) runLaned(cells []runner.Cell[float64]) (map[string]float64, error) {
+	ctx := sw.context()
+	out := make(map[string]float64, len(cells))
+	failed := make(map[string]error)
+	notify := &cellNotifier{fn: sw.OnCell}
+
+	var (
+		scalar []runner.Cell[float64]
+		groups = map[string][]member{}
+		order  []string
+	)
+	for _, c := range cells {
+		if sw.Journal != nil {
+			if raw, ok := sw.Journal.Lookup(c.Key); ok {
+				var v float64
+				if json.Unmarshal(raw, &v) == nil {
+					out[c.Key] = v
+					notify.settle(c.Key, nil)
+					continue
+				}
+			}
+		}
+		spec, ok := sw.specs.get(c.Key)
+		if !ok {
+			scalar = append(scalar, c)
+			continue
+		}
+		if res, hit := sw.memo.get(spec.memoKey); hit {
+			v := spec.pick(res)
+			out[c.Key] = v
+			if sw.Journal != nil {
+				sw.Journal.Record(c.Key, v)
+			}
+			notify.settle(c.Key, nil)
+			continue
+		}
+		if _, seen := groups[spec.group]; !seen {
+			order = append(order, spec.group)
+		}
+		groups[spec.group] = append(groups[spec.group], member{c, spec})
+	}
+
+	var (
+		batches      []runner.Cell[[]laneOut]
+		batchMembers [][]member
+		maxWidth     int
+	)
+	for _, g := range order {
+		ms := groups[g]
+		for len(ms) > 0 {
+			k := len(ms)
+			if sw.Lanes >= 2 && sw.Lanes < k {
+				k = sw.Lanes
+			}
+			if k < 2 {
+				// A group (or cap remainder) of one gains nothing from the
+				// batch plumbing; its cell already runs the scalar simulator.
+				scalar = append(scalar, ms[0].cell)
+				ms = ms[1:]
+				continue
+			}
+			chunk := ms[:k:k]
+			ms = ms[k:]
+			batches = append(batches, sw.batchCell(g, chunk, notify))
+			batchMembers = append(batchMembers, chunk)
+			if k > maxWidth {
+				maxWidth = k
+			}
+		}
+	}
+
+	bopts := sw.options()
+	bopts.OnCell = nil  // members notify individually from inside each batch
+	bopts.Journal = nil // members checkpoint individually; batch keys vary with width
+	if bopts.Timeout > 0 && maxWidth > 1 {
+		// The per-cell timeout budgets one simulation; a K-wide batch is one
+		// runner cell doing K lanes of work (less, after decode amortization).
+		bopts.Timeout *= time.Duration(maxWidth)
+	}
+	bout, _ := runner.Run(ctx, batches, bopts)
+	for bi, r := range bout.Results {
+		outs := r.Value
+		if len(outs) == 0 {
+			// Batch-level failure or skip before any lane settled: charge
+			// every member. These members were never notified from inside Run.
+			for _, m := range batchMembers[bi] {
+				err := r.Err
+				if err == nil {
+					err = fmt.Errorf("batch %q returned no lane outcomes", r.Key)
+				}
+				sw.log.add(CellError{Key: m.cell.Key, Err: err})
+				if !errors.Is(err, runner.ErrSkipped) {
+					failed[m.cell.Key] = err
+				}
+				notify.settle(m.cell.Key, err)
+			}
+			continue
+		}
+		for _, o := range outs {
+			if o.Err != "" {
+				err := errors.New(o.Err)
+				sw.log.add(CellError{Key: o.Key, Err: err})
+				failed[o.Key] = err
+				continue
+			}
+			out[o.Key] = o.Val
+		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	if len(failed) > 0 && !sw.KeepGoing {
+		// Fail-fast parity with the scalar path: the scalar remainder never
+		// starts, and the sweep error names the first failed member cell.
+		for _, c := range scalar {
+			sw.log.add(CellError{Key: c.Key, Err: runner.ErrSkipped})
+			notify.settle(c.Key, runner.ErrSkipped)
+		}
+		return out, firstFailure(cells, failed)
+	}
+
+	sout, _ := runner.Run(ctx, scalar, sw.options())
+	for _, r := range sout.Results {
+		if r.Err == nil {
+			out[r.Key] = r.Value
+			continue
+		}
+		sw.log.add(CellError{Key: r.Key, Err: r.Err})
+		if !errors.Is(r.Err, runner.ErrSkipped) {
+			failed[r.Key] = r.Err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	if len(failed) > 0 && !sw.KeepGoing {
+		return out, firstFailure(cells, failed)
+	}
+	return out, nil
+}
+
+// firstFailure renders the fail-fast sweep error for the first failed cell in
+// input order, matching the scalar runner's format.
+func firstFailure(cells []runner.Cell[float64], failed map[string]error) error {
+	for _, c := range cells {
+		if err, ok := failed[c.Key]; ok {
+			return fmt.Errorf("runner: cell %q: %w", c.Key, err)
+		}
+	}
+	return nil
+}
+
+// batchCell wraps one lane batch as a single runner cell. The key encodes the
+// stream group, width, and a digest of the member keys, so a journaled batch
+// entry can never be replayed against a different composition. Members are
+// journaled and memoized individually from inside Run as they settle.
+func (sw *Sweep) batchCell(group string, ms []member, notify *cellNotifier) runner.Cell[[]laneOut] {
+	h := fnv.New64a()
+	for _, m := range ms {
+		h.Write([]byte(m.cell.Key))
+		h.Write([]byte{0})
+	}
+	key := fmt.Sprintf("lane/%s/k%d/%x", group, len(ms), h.Sum64())
+	keepGoing := sw.KeepGoing
+	return runner.Cell[[]laneOut]{
+		Key:    key,
+		Labels: []string{"lanes", strconv.Itoa(len(ms))},
+		Run: func(ctx context.Context) ([]laneOut, error) {
+			cfgs := make([]lbic.Config, len(ms))
+			for i, m := range ms {
+				cfg := lbic.DefaultConfig()
+				cfg.Port = m.spec.port
+				cfg.MaxInsts = m.spec.insts
+				if m.spec.gen == nil {
+					cfg.Trace = sw.traceCache()
+				}
+				if m.spec.mut != nil {
+					m.spec.mut(&cfg)
+				}
+				cfgs[i] = cfg
+			}
+			var (
+				results []lbic.Result
+				errs    []error
+				err     error
+			)
+			if gp := ms[0].spec.gen; gp != nil {
+				results, errs, err = lbic.SimulateGeneratorBatch(ctx, *gp, cfgs)
+			} else {
+				prog, berr := ms[0].spec.build()
+				if berr != nil {
+					return nil, berr
+				}
+				results, errs, err = lbic.SimulateBatch(ctx, prog, cfgs)
+			}
+			if err != nil {
+				return nil, err
+			}
+			outs := make([]laneOut, len(ms))
+			var firstErr error
+			for i, m := range ms {
+				if errs[i] != nil {
+					outs[i] = laneOut{Key: m.cell.Key, Err: errs[i].Error()}
+					if firstErr == nil {
+						firstErr = errs[i]
+					}
+					notify.settle(m.cell.Key, errs[i])
+					continue
+				}
+				res := results[i]
+				v := m.spec.pick(&res)
+				outs[i] = laneOut{Key: m.cell.Key, Val: v}
+				sw.memo.put(m.spec.memoKey, &res)
+				if sw.Journal != nil {
+					sw.Journal.Record(m.cell.Key, v)
+				}
+				notify.settle(m.cell.Key, nil)
+			}
+			if firstErr != nil && !keepGoing {
+				// Surface the failure so the runner stops the sweep; the lane
+				// outcomes still ride in the value for demultiplexing.
+				return outs, firstErr
+			}
+			return outs, nil
+		},
+	}
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lbic"
+	"lbic/internal/runner"
+	"lbic/internal/stats"
+)
+
+// renderGrid runs testGrid on sw and returns its JSON + rendered text, the
+// canonical "what the user sees" bytes the laned path must reproduce.
+func renderGrid(t *testing.T, sw *Sweep) string {
+	t.Helper()
+	tab, err := testGrid(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tab.JSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestSweepLanedMatchesScalar: the same grid rendered scalar, with the full
+// port axis batched (Lanes=-1), and with a capped width must be identical —
+// lane batching is a scheduling change, never a results change.
+func TestSweepLanedMatchesScalar(t *testing.T) {
+	scalar := renderGrid(t, NewSweep(5_000))
+	for _, lanes := range []int{-1, 2, 4} {
+		sw := NewSweep(5_000)
+		sw.Lanes = lanes
+		sw.Jobs = 4
+		if got := renderGrid(t, sw); got != scalar {
+			t.Errorf("Lanes=%d output differs from scalar:\n--- scalar ---\n%s\n--- laned ---\n%s", lanes, scalar, got)
+		}
+	}
+}
+
+// TestWorkloadMatrixLanedMatchesScalar covers the generator-backed cells:
+// lanes share one synthetic stream, and the IPC and conflict views of one
+// (generator, port, budget) simulation come from a single laned run.
+func TestWorkloadMatrixLanedMatchesScalar(t *testing.T) {
+	render := func(sw *Sweep) string {
+		var sb strings.Builder
+		for _, gen := range []func(*Sweep) (*stats.Table, error){WorkloadMatrix, WorkloadConflicts} {
+			tab, err := gen(sw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tab.JSON(&sb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sb.String()
+	}
+	scalar := render(testSweep(tinyInsts))
+	laned := testSweep(tinyInsts)
+	laned.Lanes = -1
+	if got := render(laned); got != scalar {
+		t.Errorf("laned workload tables differ from scalar:\n--- scalar ---\n%s\n--- laned ---\n%s", scalar, got)
+	}
+}
+
+// TestSweepLanedJournalInterop: a journal written by a laned sweep must serve
+// a scalar resume, and one written scalar must serve a laned resume — cell
+// keys are identical across lane widths, so checkpoints survive a -lanes
+// change in either direction.
+func TestSweepLanedJournalInterop(t *testing.T) {
+	for _, dir := range []struct {
+		name           string
+		first, second  int // Lanes for the writing and resuming sweep
+		sabotageSecond bool
+	}{
+		{"laned-then-scalar", -1, 1, true},
+		{"scalar-then-laned", 1, -1, false},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "sweep.jsonl")
+			j, err := runner.OpenJournal(path, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sw := NewSweep(5_000)
+			sw.Lanes = dir.first
+			sw.Journal = j
+			first := renderGrid(t, sw)
+			if j.Len() != 4 {
+				t.Fatalf("journal has %d cells after first pass, want 4", j.Len())
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			j2, err := runner.OpenJournal(path, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j2.Close()
+			if j2.Resumed() != 4 {
+				t.Fatalf("Resumed() = %d, want 4", j2.Resumed())
+			}
+			sw2 := NewSweep(5_000)
+			sw2.Lanes = dir.second
+			sw2.Journal = j2
+			if dir.sabotageSecond {
+				// Injected faults would fail any cell that actually reran —
+				// they also force the scalar path, which is exactly the
+				// resuming side this direction wants to prove.
+				sw2.InjectPanic = []string{"pat:unit-stride", "pat:random"}
+			}
+			second := renderGrid(t, sw2)
+			if second != first {
+				t.Errorf("resumed output differs:\n--- first ---\n%s\n--- resumed ---\n%s", first, second)
+			}
+			if fails := sw2.Failures(); len(fails) != 0 {
+				t.Errorf("resumed pass reran cells: %v", fails)
+			}
+			if j2.Len() != 4 {
+				t.Errorf("journal has %d cells after resume, want 4", j2.Len())
+			}
+		})
+	}
+}
+
+// TestSweepLanedFaultInjectionFallsBackToScalar: fault injection targets
+// individual cells, so a sweep carrying injections must refuse to batch —
+// and the injected faults must still land exactly as they do scalar.
+func TestSweepLanedFaultInjectionFallsBackToScalar(t *testing.T) {
+	sw := NewSweep(5_000)
+	sw.Lanes = -1
+	sw.KeepGoing = true
+	sw.InjectPanic = []string{"pat:unit-stride/true-1"}
+	if sw.laned() {
+		t.Fatal("sweep with injected faults still reports the laned path")
+	}
+	tab, err := testGrid(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), errCell); got != 1 {
+		t.Errorf("rendered table has %d ERR cells, want 1:\n%s", got, sb.String())
+	}
+}
+
+// TestSweepLanedFailFast: without KeepGoing, a lane failure must surface as
+// the same "runner: cell ..." error the scalar path returns, naming the
+// failed member cell, not the internal batch.
+func TestSweepLanedFailFast(t *testing.T) {
+	sw := NewSweep(5_000)
+	sw.Lanes = -1
+	// An unbuildable benchmark fails inside the batch cell at build time.
+	cell := sw.simBench("no-such-benchmark", lbic.BankedPort(4))
+	_, err := sw.runLaned([]runner.Cell[float64]{cell})
+	if err == nil {
+		t.Fatal("laned run with an unbuildable lane returned nil error")
+	}
+	if !strings.Contains(err.Error(), "runner: cell ") || !strings.Contains(err.Error(), cell.Key) {
+		t.Errorf("error %q does not carry the member cell key %q", err, cell.Key)
+	}
+}

@@ -57,14 +57,53 @@ type Sweep struct {
 	// fault-isolation machinery end to end.
 	InjectPanic []string
 	InjectHang  []string
+	// Lanes controls vectorized multi-config stepping: simulation cells that
+	// share one (program, budget) instruction stream are grouped into lane
+	// batches stepping off a shared decode cursor (see lbic.SimulateBatch),
+	// so each dynamic instruction is decoded once per batch instead of once
+	// per cell. 0 or 1 runs every cell on the scalar path (the zero-value
+	// default); < 0 batches a whole shared-stream group (the full port
+	// axis); >= 2 caps the batch width. Results are byte-identical at any
+	// width, and cell keys — the journal identity — do not change, so
+	// journals resume across widths in both directions. Fault injection
+	// disables batching: injected faults must land on exactly the named
+	// cell, not a whole batch.
+	Lanes int
 
 	log   *failureLog
 	progs *progCache
+	specs *specRegistry
+	memo  *resultMemo
+	// local is the sweep-private trace cache serving cells when Trace is
+	// nil: without it, every cell of the same benchmark re-ran the emulator
+	// to regenerate an identical stream once per cell.
+	local *lbic.TraceCache
 }
+
+// localTraceBudget bounds the sweep-private trace cache. Matches the
+// lbictables default budget; eviction only costs a re-recording.
+const localTraceBudget = 256 << 20
 
 // NewSweep returns a sweep with the given budget and default policy.
 func NewSweep(insts uint64) *Sweep {
-	return &Sweep{Insts: insts, log: &failureLog{}, progs: &progCache{m: map[string]*lbic.Program{}}}
+	return &Sweep{
+		Insts: insts,
+		log:   &failureLog{},
+		progs: &progCache{m: map[string]*lbic.Program{}},
+		specs: &specRegistry{m: map[string]simSpec{}},
+		memo:  &resultMemo{m: map[string]*lbic.Result{}},
+		local: lbic.NewTraceCache(localTraceBudget),
+	}
+}
+
+// traceCache returns the cache cells stream from: the caller-provided one,
+// or the sweep-private cache, so a sweep without an explicit Trace still
+// records each (program, budget) stream once and replays it for every cell.
+func (sw *Sweep) traceCache() *lbic.TraceCache {
+	if sw.Trace != nil {
+		return sw.Trace
+	}
+	return sw.local
 }
 
 // progCache builds each program once per sweep. Programs are immutable once
@@ -162,6 +201,13 @@ func (sw *Sweep) options() runner.Options {
 // in the failure log and simply absent from the map. The error is nil unless
 // the context was canceled or (without KeepGoing) a cell failed.
 func sweepRun[T any](sw *Sweep, cells []runner.Cell[T]) (map[string]T, error) {
+	// Simulation sweeps (float64 grids) route through the laned runner when
+	// batching is enabled: cells sharing a stream step in lockstep off one
+	// cursor. Fault injection forces the scalar path — see Sweep.Lanes.
+	if fc, ok := any(cells).([]runner.Cell[float64]); ok && sw.laned() {
+		m, err := sw.runLaned(fc)
+		return any(m).(map[string]T), err
+	}
 	injectFaults(sw, cells)
 	out, err := runner.Run(sw.context(), cells, sw.options())
 	m := make(map[string]T, len(out.Results))
@@ -221,21 +267,34 @@ func (sw *Sweep) simBenchMut(name string, port lbic.PortConfig, suffix string, m
 	if suffix != "" {
 		key += "/" + suffix
 	}
+	group := fmt.Sprintf("bench/%s/i%d", name, sw.Insts)
 	build := func() (*lbic.Program, error) { return sw.benchProg(name) }
-	return sw.simCell(key, build, port, mut)
+	return sw.simCell(key, group, build, port, mut)
 }
 
 // simPattern is one access-pattern microbenchmark under one port
 // organization.
 func (sw *Sweep) simPattern(name string, port lbic.PortConfig) runner.Cell[float64] {
 	key := fmt.Sprintf("sim/pat:%s/%s/i%d", name, port.Key(), sw.Insts)
+	group := fmt.Sprintf("pat/%s/i%d", name, sw.Insts)
 	build := func() (*lbic.Program, error) { return sw.patternProg(name) }
-	return sw.simCell(key, build, port, nil)
+	return sw.simCell(key, group, build, port, nil)
 }
 
-func (sw *Sweep) simCell(key string, build func() (*lbic.Program, error), port lbic.PortConfig, mut func(*lbic.Config)) runner.Cell[float64] {
+func (sw *Sweep) simCell(key, group string, build func() (*lbic.Program, error), port lbic.PortConfig, mut func(*lbic.Config)) runner.Cell[float64] {
 	insts := sw.Insts
-	return runner.Cell[float64]{Key: key, Run: func(ctx context.Context) (float64, error) {
+	// The full cell key doubles as the duplicate-sim memo identity: the
+	// same (program, port, budget, mutation) point appearing in two tables
+	// of one invocation is simulated once (replay determinism makes the
+	// second Result identical, so reusing it cannot change any output).
+	sw.specs.put(key, simSpec{
+		group: group, insts: insts, port: port, mut: mut, build: build,
+		pick: pickIPC, memoKey: key,
+	})
+	return runner.Cell[float64]{Key: key, Labels: scalarLaneLabels, Run: func(ctx context.Context) (float64, error) {
+		if res, ok := sw.memo.get(key); ok {
+			return pickIPC(res), nil
+		}
 		prog, err := build()
 		if err != nil {
 			return 0, err
@@ -243,7 +302,7 @@ func (sw *Sweep) simCell(key string, build func() (*lbic.Program, error), port l
 		cfg := lbic.DefaultConfig()
 		cfg.Port = port
 		cfg.MaxInsts = insts
-		cfg.Trace = sw.Trace
+		cfg.Trace = sw.traceCache()
 		if mut != nil {
 			mut(&cfg)
 		}
@@ -251,12 +310,22 @@ func (sw *Sweep) simCell(key string, build func() (*lbic.Program, error), port l
 		if err != nil {
 			return 0, err
 		}
+		sw.memo.put(key, &res)
 		return res.IPC, nil
 	}}
 }
 
+func pickIPC(r *lbic.Result) float64 { return r.IPC }
+
+// scalarLaneLabels tag an unbatched simulation cell's profile samples.
+var scalarLaneLabels = []string{"lanes", "1"}
+
 // charCell measures a benchmark's Table 2 characteristics against a given
 // L1 geometry.
+// charCell (and missRateCell, refCell below) streams from the caller's
+// trace cache only: a characterization pass is a single sequential read, so
+// replaying costs the same as re-emulating and a sweep-private recording
+// would never be repaid within the cell's own table.
 func (sw *Sweep) charCell(name string, geom lbic.Geometry) runner.Cell[lbic.BenchmarkStats] {
 	insts := sw.Insts
 	tc := sw.Trace

@@ -47,7 +47,20 @@ func (sw *Sweep) genCell(kind string, port lbic.PortConfig, ns string, pick func
 		return runner.Cell[float64]{Key: key, Run: func(context.Context) (float64, error) { return 0, err }}
 	}
 	key := fmt.Sprintf("sim/%s%s/%s/i%d", ns, rp.Key(), port.Key(), insts)
-	return runner.Cell[float64]{Key: key, Run: func(ctx context.Context) (float64, error) {
+	// The memo key strips the namespace: the IPC and conflict-rate views of
+	// one (generator, port, budget) point are the same simulation, so the
+	// second table reuses the first's Result instead of re-synthesizing the
+	// stream.
+	memoKey := fmt.Sprintf("sim/%s/%s/i%d", rp.Key(), port.Key(), insts)
+	group := fmt.Sprintf("gen/%s/i%d", rp.Key(), insts)
+	sw.specs.put(key, simSpec{
+		group: group, insts: insts, port: port, gen: &params,
+		pick: pick, memoKey: memoKey,
+	})
+	return runner.Cell[float64]{Key: key, Labels: scalarLaneLabels, Run: func(ctx context.Context) (float64, error) {
+		if res, ok := sw.memo.get(memoKey); ok {
+			return pick(res), nil
+		}
 		cfg := lbic.DefaultConfig()
 		cfg.Port = port
 		cfg.MaxInsts = insts
@@ -55,6 +68,7 @@ func (sw *Sweep) genCell(kind string, port lbic.PortConfig, ns string, pick func
 		if err != nil {
 			return 0, err
 		}
+		sw.memo.put(memoKey, &res)
 		return pick(&res), nil
 	}}
 }

@@ -1,0 +1,264 @@
+package server
+
+// Laned sweep-job execution: when Options.Lanes >= 2 and the server owns its
+// compute (no cluster dispatch), a job's cells that share one (program,
+// budget) instruction stream are grouped into lane batches and stepped in
+// lockstep off a shared decode cursor (lbic.SimulateBatch) — one pass over
+// the trace per batch instead of one per cell. Every member still gets its
+// own result-cache entry, singleflight registration, published CellResult,
+// and metrics, and each served report is byte-identical to the scalar path.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"time"
+
+	"lbic"
+	"lbic/client"
+	"lbic/internal/runner"
+	"lbic/internal/tracing"
+)
+
+// scalarJobCell is the unbatched per-cell unit of a sweep job.
+func (s *Server) scalarJobCell(j *job, sp cellSpec) runner.Cell[struct{}] {
+	return runner.Cell[struct{}]{Key: sp.key, Run: func(ctx context.Context) (struct{}, error) {
+		j.publishCell(s.executeCell(ctx, sp))
+		return struct{}{}, nil
+	}}
+}
+
+// lanedJobCells converts a job's specs into runner cells with shared-stream
+// groups batched. Uploaded-trace cells and batch remainders of one run the
+// ordinary scalar path; a coordinator never batches (each cell is offered to
+// the cluster individually).
+func (s *Server) lanedJobCells(j *job, specs []cellSpec) []runner.Cell[struct{}] {
+	var (
+		cells  []runner.Cell[struct{}]
+		groups = map[string][]cellSpec{}
+		order  []string
+	)
+	for _, sp := range specs {
+		if sp.trace != nil {
+			// An uploaded recording is its own replay source; batching it
+			// would need per-upload cursors for no decode saving.
+			cells = append(cells, s.scalarJobCell(j, sp))
+			continue
+		}
+		g := fmt.Sprintf("%s/i%d", sp.progToken(), sp.insts)
+		if _, ok := groups[g]; !ok {
+			order = append(order, g)
+		}
+		groups[g] = append(groups[g], sp)
+	}
+	for _, g := range order {
+		ms := groups[g]
+		for len(ms) > 0 {
+			k := len(ms)
+			if s.opts.Lanes < k {
+				k = s.opts.Lanes
+			}
+			if k < 2 {
+				cells = append(cells, s.scalarJobCell(j, ms[0]))
+				ms = ms[1:]
+				continue
+			}
+			chunk := ms[:k:k]
+			ms = ms[k:]
+			cells = append(cells, s.batchJobCell(j, g, chunk))
+		}
+	}
+	return cells
+}
+
+// batchJobCell wraps one lane batch as a single runner cell of the job.
+func (s *Server) batchJobCell(j *job, group string, sps []cellSpec) runner.Cell[struct{}] {
+	h := fnv.New64a()
+	for _, sp := range sps {
+		h.Write([]byte(sp.key))
+		h.Write([]byte{0})
+	}
+	key := fmt.Sprintf("lane/%s/k%d/%x", group, len(sps), h.Sum64())
+	return runner.Cell[struct{}]{
+		Key:    key,
+		Labels: []string{"lanes", strconv.Itoa(len(sps))},
+		Run: func(ctx context.Context) (struct{}, error) {
+			s.executeBatch(ctx, j, sps)
+			return struct{}{}, nil
+		},
+	}
+}
+
+// executeBatch produces and publishes every member cell of one lane batch.
+// Members already served by the result cache — or being computed by another
+// request's flight — take the ordinary executeCell path; the rest register
+// as singleflight leaders and simulate together under one parallelism slot.
+func (s *Server) executeBatch(ctx context.Context, j *job, sps []cellSpec) {
+	var lanes []cellSpec
+	for _, sp := range sps {
+		if _, ok := s.results.get(sp.key); ok {
+			j.publishCell(s.executeCell(ctx, sp))
+			continue
+		}
+		lanes = append(lanes, sp)
+	}
+	// Register leadership for every lane in one critical section; a lane
+	// whose key is already in flight elsewhere follows that flight instead.
+	var (
+		lead    []cellSpec
+		flights []*flight
+	)
+	s.flightMu.Lock()
+	for _, sp := range lanes {
+		if _, ok := s.inflight[sp.key]; ok {
+			continue // follower: handled below, outside the lock
+		}
+		f := &flight{done: make(chan struct{})}
+		s.inflight[sp.key] = f
+		lead = append(lead, sp)
+		flights = append(flights, f)
+	}
+	s.flightMu.Unlock()
+	for _, sp := range lanes {
+		if !isLead(lead, sp.key) {
+			j.publishCell(s.executeCell(ctx, sp))
+		}
+	}
+	if len(lead) == 0 {
+		return
+	}
+
+	start := time.Now()
+	spans := make([]*tracing.Span, len(lead))
+	for i, sp := range lead {
+		_, spans[i] = tracing.Start(ctx, "exec "+sp.key)
+		spans[i].SetAttr("result_cache", "miss")
+		spans[i].SetAttr("singleflight", "leader")
+		spans[i].SetAttr("lanes", len(lead))
+	}
+	reports, errs := s.simulateBatchCells(ctx, lead)
+	elapsed := time.Since(start)
+	perLane := elapsed / time.Duration(len(lead))
+	s.flightMu.Lock()
+	for _, sp := range lead {
+		delete(s.inflight, sp.key)
+	}
+	s.flightMu.Unlock()
+	for i, sp := range lead {
+		f := flights[i]
+		f.bytes, f.err = reports[i], errs[i]
+		if f.err == nil {
+			s.results.put(sp.key, f.bytes)
+		}
+		close(f.done)
+		cr := client.CellResult{
+			Key: sp.key, Benchmark: sp.progToken(), Port: sp.port.Key(),
+			ElapsedNS: perLane.Nanoseconds(),
+		}
+		s.mCellsExecuted.Add(1)
+		if f.err != nil {
+			s.mCellFailures.Add(1)
+			cr.Error = f.err.Error()
+			spans[i].SetAttr("error", cr.Error)
+		} else {
+			cr.Report = f.bytes
+		}
+		spans[i].End()
+		j.publishCell(cr)
+		s.observeCell(perLane)
+	}
+}
+
+func isLead(lead []cellSpec, key string) bool {
+	for _, sp := range lead {
+		if sp.key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// simulateBatchCells runs the lead lanes of one batch under a single
+// parallelism slot, with the same deadline/retry/panic isolation the scalar
+// simulateCell gets — the per-cell timeout scaled by the lane count, since
+// the batch is one runner cell doing K lanes of work.
+func (s *Server) simulateBatchCells(ctx context.Context, lead []cellSpec) ([][]byte, []error) {
+	reports := make([][]byte, len(lead))
+	errs := make([]error, len(lead))
+	fail := func(err error) ([][]byte, []error) {
+		for i := range errs {
+			errs[i] = err
+		}
+		return reports, errs
+	}
+
+	_, span := tracing.Start(ctx, "queue batch "+lead[0].key)
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.baseCtx.Done():
+		span.End()
+		return fail(s.baseCtx.Err())
+	}
+	span.End()
+	defer func() { <-s.sem }()
+
+	prog, err := s.program(&lead[0])
+	if err != nil {
+		return fail(err)
+	}
+	cell := runner.Cell[struct{}]{Key: "batch", Run: func(ctx context.Context) (struct{}, error) {
+		// A retried batch starts clean: outcomes from a failed attempt must
+		// not leak into this one.
+		for i := range lead {
+			reports[i], errs[i] = nil, nil
+		}
+		cfgs := make([]lbic.Config, len(lead))
+		for i, sp := range lead {
+			cfg := lbic.DefaultConfig()
+			cfg.Port = sp.port
+			cfg.MaxInsts = sp.insts
+			cfg.CPU = sp.cpu
+			cfg.Mem = sp.mem
+			cfg.Trace = s.traces
+			cfgs[i] = cfg
+		}
+		results, laneErrs, berr := lbic.SimulateBatch(ctx, prog, cfgs)
+		if berr != nil {
+			return struct{}{}, berr
+		}
+		for i := range lead {
+			if laneErrs[i] != nil {
+				errs[i] = laneErrs[i]
+				continue
+			}
+			res := results[i]
+			// Same serialization as the scalar path: replayed runs are
+			// bit-identical to live ones, and dropping the trace-cache
+			// counters makes the report byte-identical to a direct
+			// Simulate + NewReport of the same configuration.
+			res.TraceCache = nil
+			var buf bytes.Buffer
+			if werr := lbic.NewReport(res).WriteJSON(&buf); werr != nil {
+				errs[i] = werr
+				continue
+			}
+			reports[i] = buf.Bytes()
+		}
+		return struct{}{}, nil
+	}}
+	timeout := s.opts.CellTimeout
+	if timeout > 0 {
+		timeout *= time.Duration(len(lead))
+	}
+	out, _ := runner.Run(tracing.Adopt(s.baseCtx, ctx), []runner.Cell[struct{}]{cell}, runner.Options{
+		Timeout:   timeout,
+		Retries:   s.opts.Retries,
+		KeepGoing: true,
+	})
+	if rerr := out.Results[0].Err; rerr != nil {
+		return fail(rerr)
+	}
+	return reports, errs
+}

@@ -1,0 +1,185 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"lbic"
+	"lbic/client"
+	"lbic/internal/server"
+)
+
+// TestSweepLanedByteIdentical: with Options.Lanes set, a sweep job's cells
+// that share one (benchmark, budget) stream run as lane batches — and every
+// served report must still be byte-identical to direct scalar simulation,
+// with per-cell results published, counted, and result-cached exactly like
+// the scalar server path.
+func TestSweepLanedByteIdentical(t *testing.T) {
+	_, c := newTestServer(t, server.Options{Lanes: 4})
+	ctx := context.Background()
+	ports := []string{"true-1", "bank-4", "lbic-4x2", "true-2", "bank-8", "repl-2"}
+	specs := make([]client.PortSpec, len(ports))
+	for i, p := range ports {
+		specs[i] = client.Port(p)
+	}
+	benches := []string{"compress", "li"}
+	req := client.SweepRequest{Benchmarks: benches, Ports: specs, Insts: testInsts}
+
+	st, err := c.Sweep(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(benches) * len(ports); st.Total != want {
+		t.Fatalf("job total = %d, want %d", st.Total, want)
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != client.JobDone || final.Done != st.Total || final.Failed != 0 {
+		t.Fatalf("job finished %+v", final)
+	}
+	byKey := make(map[string]client.CellResult)
+	for _, cell := range final.Results {
+		byKey[cell.Key] = cell
+		if cell.Benchmark == "" || cell.Port == "" {
+			t.Errorf("cell %q published without coordinates: %+v", cell.Key, cell)
+		}
+		if cell.ElapsedNS <= 0 {
+			t.Errorf("cell %q published with ElapsedNS = %d", cell.Key, cell.ElapsedNS)
+		}
+	}
+	if len(byKey) != st.Total {
+		t.Fatalf("published %d distinct cells, want %d", len(byKey), st.Total)
+	}
+	for _, bench := range benches {
+		for _, port := range ports {
+			var direct bytes.Buffer
+			if err := json.Compact(&direct, directReport(t, bench, port, testInsts)); err != nil {
+				t.Fatal(err)
+			}
+			var found bool
+			for _, cell := range byKey {
+				if cell.Benchmark == bench && cell.Port == port {
+					found = true
+					if !bytes.Equal(cell.Report, direct.Bytes()) {
+						t.Errorf("%s/%s: laned cell differs from direct report", bench, port)
+					}
+				}
+			}
+			if !found {
+				t.Errorf("no cell published for %s/%s", bench, port)
+			}
+		}
+	}
+	if executed := counter(t, c, "server.cells_executed"); executed != uint64(st.Total) {
+		t.Errorf("cells_executed = %d, want %d", executed, st.Total)
+	}
+	// One recording per benchmark, shared by all its lanes.
+	if records := counter(t, c, "tracecache.records"); records != uint64(len(benches)) {
+		t.Errorf("tracecache.records = %d, want %d", records, len(benches))
+	}
+
+	// The identical sweep again: every member of every former batch must be
+	// served from the result cache without executing anything.
+	st2, err := c.Sweep(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final2, err := c.Wait(ctx, st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final2.State != client.JobDone || final2.Failed != 0 {
+		t.Fatalf("second job finished %+v", final2)
+	}
+	for _, cell := range final2.Results {
+		if !cell.Cached {
+			t.Errorf("%s: second sweep cell not served from the result cache", cell.Key)
+		}
+		if !bytes.Equal(cell.Report, byKey[cell.Key].Report) {
+			t.Errorf("%s: second sweep cell bytes differ", cell.Key)
+		}
+	}
+	if executed := counter(t, c, "server.cells_executed"); executed != uint64(st.Total) {
+		t.Errorf("second sweep executed %d new cells, want 0", executed-uint64(st.Total))
+	}
+}
+
+// TestSweepLanedMatchesScalarServer runs the same sweep on a laned and a
+// scalar server and requires identical report bytes for every cell.
+func TestSweepLanedMatchesScalarServer(t *testing.T) {
+	req := client.SweepRequest{
+		Benchmarks: []string{"compress"},
+		Ports:      []client.PortSpec{client.Port("true-1"), client.Port("bank-4"), client.Port("lbic-4x2")},
+		Insts:      testInsts,
+	}
+	run := func(opts server.Options) map[string][]byte {
+		_, c := newTestServer(t, opts)
+		st, err := c.Sweep(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, err := c.Wait(context.Background(), st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State != client.JobDone || final.Failed != 0 {
+			t.Fatalf("job finished %+v", final)
+		}
+		out := make(map[string][]byte, len(final.Results))
+		for _, cell := range final.Results {
+			out[cell.Key] = cell.Report
+		}
+		return out
+	}
+	scalar := run(server.Options{})
+	laned := run(server.Options{Lanes: 8})
+	if len(scalar) != len(laned) {
+		t.Fatalf("scalar served %d cells, laned %d", len(scalar), len(laned))
+	}
+	for key, want := range scalar {
+		if !bytes.Equal(want, laned[key]) {
+			t.Errorf("%s: laned server report differs from scalar server", key)
+		}
+	}
+}
+
+// TestSweepLanedUploadedTraceStaysScalar: a sweep is not the only job shape —
+// uploaded-trace cells must keep the scalar path even on a laned server.
+func TestSweepLanedUploadedTraceStaysScalar(t *testing.T) {
+	_, c := newTestServer(t, server.Options{Lanes: 4})
+	ctx := context.Background()
+	rt, err := lbic.RecordGeneratorTrace(lbic.GenParams{Kind: "zipf"}, testInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc bytes.Buffer
+	if err := lbic.WriteTraceStream(&enc, rt); err != nil {
+		t.Fatal(err)
+	}
+	served, err := c.Simulate(ctx, client.SimulateRequest{Trace: enc.Bytes(), Port: client.Port("lbic-4x2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, err := lbic.ParsePortName("lbic-4x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lbic.DefaultConfig()
+	cfg.Port = port
+	cfg.MaxInsts = 0
+	res, err := lbic.SimulateTrace(ctx, rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if err := lbic.NewReport(res).WriteJSON(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, direct.Bytes()) {
+		t.Errorf("uploaded-trace report on a laned server differs from direct replay")
+	}
+}

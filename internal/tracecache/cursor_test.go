@@ -1,0 +1,193 @@
+package tracecache
+
+import (
+	"testing"
+
+	"lbic/internal/trace"
+)
+
+// sliceStream replays a fixed record sequence, counting pulls so tests can
+// assert the cursor never over- or under-draws the source.
+type sliceStream struct {
+	recs   []trace.Dyn
+	pulled int
+}
+
+func (s *sliceStream) Next(d *trace.Dyn) bool {
+	if s.pulled >= len(s.recs) {
+		return false
+	}
+	*d = s.recs[s.pulled]
+	s.pulled++
+	return true
+}
+
+func seqRecords(n int) []trace.Dyn {
+	recs := make([]trace.Dyn, n)
+	for i := range recs {
+		recs[i] = trace.Dyn{Seq: uint64(i), Addr: uint64(i) * 8}
+	}
+	return recs
+}
+
+// drain reads every remaining record through r, returning the sequence.
+func drainLane(t *testing.T, r *LaneReader) []uint64 {
+	t.Helper()
+	var got []uint64
+	var d trace.Dyn
+	for r.Next(&d) {
+		got = append(got, d.Seq)
+	}
+	if r.Next(&d) {
+		t.Fatal("Next returned a record after reporting end of stream")
+	}
+	return got
+}
+
+func wantSeq(t *testing.T, got []uint64, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("read %d records, want %d", len(got), n)
+	}
+	for i, s := range got {
+		if s != uint64(i) {
+			t.Fatalf("record %d has seq %d", i, s)
+		}
+	}
+}
+
+// TestSharedCursorFansOut: every reader sees the full sequence exactly once,
+// and the source is decoded exactly once regardless of reader count.
+func TestSharedCursorFansOut(t *testing.T) {
+	const n = 1000
+	src := &sliceStream{recs: seqRecords(n)}
+	cur := NewSharedCursor(src, 64)
+	readers := []*LaneReader{cur.NewLaneReader(), cur.NewLaneReader(), cur.NewLaneReader()}
+
+	// Interleave: readers advance in 100-record bursts, like the lane
+	// scheduler does, staying within one window of each other.
+	var d trace.Dyn
+	for base := 0; base < n; base += 50 {
+		for _, r := range readers {
+			for int(r.Pos()) < base+50 && r.Next(&d) {
+			}
+		}
+	}
+	for _, r := range readers {
+		wantSeq(t, append(make([]uint64, 0, n), seqOf(t, r, n)...), n)
+	}
+	if src.pulled != n {
+		t.Errorf("source decoded %d records, want exactly %d", src.pulled, n)
+	}
+}
+
+// seqOf replays the consumed prefix check: reader already consumed all n.
+func seqOf(t *testing.T, r *LaneReader, n int) []uint64 {
+	t.Helper()
+	if r.Pos() != uint64(n) {
+		t.Fatalf("reader at pos %d, want %d", r.Pos(), n)
+	}
+	var d trace.Dyn
+	if r.Next(&d) {
+		t.Fatal("reader produced a record past source end")
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i)
+	}
+	return out
+}
+
+// TestSharedCursorOnDemand: the cursor pulls the source only as far as the
+// front reader actually consumed — the property that lets a shared live
+// emulator stop at exactly the instruction budget.
+func TestSharedCursorOnDemand(t *testing.T) {
+	src := &sliceStream{recs: seqRecords(1000)}
+	cur := NewSharedCursor(src, 64)
+	r := cur.NewLaneReader()
+	var d trace.Dyn
+	for i := 0; i < 137; i++ {
+		if !r.Next(&d) {
+			t.Fatal("unexpected end of stream")
+		}
+	}
+	if src.pulled != 137 {
+		t.Errorf("source pulled %d records for 137 consumed, want exactly 137", src.pulled)
+	}
+	if cur.Filled() != 137 {
+		t.Errorf("cursor filled %d, want 137", cur.Filled())
+	}
+}
+
+// TestSharedCursorGrowsWhenPinned: a reader that has not advanced pins the
+// window; a fast reader must still make progress via ring growth, and the
+// slow reader must later see every record.
+func TestSharedCursorGrowsWhenPinned(t *testing.T) {
+	const n = 500
+	src := &sliceStream{recs: seqRecords(n)}
+	cur := NewSharedCursor(src, 16)
+	fast, slow := cur.NewLaneReader(), cur.NewLaneReader()
+	if got := drainLane(t, fast); len(got) != n {
+		t.Fatalf("fast reader got %d records, want %d", len(got), n)
+	}
+	if len(cur.buf) < n {
+		t.Errorf("ring held %d records with a pinned reader, want >= %d", len(cur.buf), n)
+	}
+	wantSeq(t, drainLane(t, slow), n)
+}
+
+// TestSharedCursorCloseReleasesWindow: once the lagging reader closes, the
+// window follows the live reader and the ring stays at its original size.
+func TestSharedCursorCloseReleasesWindow(t *testing.T) {
+	const n = 5000
+	src := &sliceStream{recs: seqRecords(n)}
+	cur := NewSharedCursor(src, 64)
+	live, done := cur.NewLaneReader(), cur.NewLaneReader()
+	done.Close()
+	ring := len(cur.buf)
+	wantSeq(t, drainLane(t, live), n)
+	if len(cur.buf) != ring {
+		t.Errorf("ring grew from %d to %d despite the lagging reader being closed", ring, len(cur.buf))
+	}
+}
+
+// TestSharedCursorLateReaderPanics: attaching a reader after records were
+// consumed would hand it a truncated stream; the cursor must refuse.
+func TestSharedCursorLateReaderPanics(t *testing.T) {
+	src := &sliceStream{recs: seqRecords(10)}
+	cur := NewSharedCursor(src, 16)
+	r := cur.NewLaneReader()
+	var d trace.Dyn
+	if !r.Next(&d) {
+		t.Fatal("unexpected end of stream")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewLaneReader after reading started did not panic")
+		}
+	}()
+	cur.NewLaneReader()
+}
+
+// TestSharedCursorBatchFill: batch mode must deliver the identical sequence
+// while pulling the source ahead of consumption (the read-ahead that is safe
+// for replayed and synthetic sources).
+func TestSharedCursorBatchFill(t *testing.T) {
+	const n = 1000
+	src := &sliceStream{recs: seqRecords(n)}
+	cur := NewSharedCursor(src, 256)
+	cur.SetBatchFill(64)
+	r := cur.NewLaneReader()
+	var d trace.Dyn
+	if !r.Next(&d) || d.Seq != 0 {
+		t.Fatal("bad first record")
+	}
+	if src.pulled < 2 {
+		t.Errorf("batch fill pulled %d records on the first miss, want several", src.pulled)
+	}
+	got := []uint64{0}
+	for r.Next(&d) {
+		got = append(got, d.Seq)
+	}
+	wantSeq(t, got, n)
+}
