@@ -28,11 +28,11 @@ test-short:
 
 # bench runs the full benchmark suite (table regenerations, simulator
 # throughput live vs trace replay, the zero-alloc core microbenchmark, the
-# lane-batched stepping microbenchmark, and the lbicd served-vs-direct
-# latency comparison) and records the results as JSON. BENCH_PR9.json in the
-# repo root is the checked-in snapshot; regenerate it here after performance
-# work.
-BENCH_OUT ?= BENCH_PR9.json
+# lane-batched stepping microbenchmark, the coded-banks arbiter step cost,
+# and the lbicd served-vs-direct latency comparison) and records the results
+# as JSON. BENCH_PR10.json in the repo root is the checked-in snapshot;
+# regenerate it here after performance work.
+BENCH_OUT ?= BENCH_PR10.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . ./internal/cpu/ ./internal/server/ \
 		| $(GO) run ./scripts/benchjson -o $(BENCH_OUT)
@@ -48,8 +48,8 @@ bench-smoke:
 # bench-diff is the perf regression gate: ns/op drift between the two most
 # recent checked-in benchmark snapshots past the threshold fails unless
 # BENCH_ALLOWLIST.json acknowledges it with a reason.
-BENCH_OLD ?= BENCH_PR5.json
-BENCH_NEW ?= BENCH_PR9.json
+BENCH_OLD ?= BENCH_PR9.json
+BENCH_NEW ?= BENCH_PR10.json
 bench-diff:
 	$(GO) run ./scripts/benchjson -diff $(BENCH_OLD) -against $(BENCH_NEW) \
 		-threshold 10 -allowlist BENCH_ALLOWLIST.json
@@ -76,10 +76,12 @@ cluster-smoke:
 	$(GO) run ./scripts/clusterchaos -smoke -lbicd /tmp/lbicd
 
 # advsearch-smoke is the CI gate for the adversarial-workload loop: a tiny
-# fixed-seed search must complete, and replaying the checked-in regression
-# stream must reproduce its stored report byte-for-byte.
+# fixed-seed search must complete (once against plain banking, once against
+# the coded organization), and replaying the checked-in regression stream
+# must reproduce its stored report byte-for-byte.
 advsearch-smoke:
 	$(GO) run ./cmd/lbicadv -port bank-4 -insts 5000 -rounds 1 -seed 1 -q -top 3
+	$(GO) run ./cmd/lbicadv -port coded-4x1 -insts 5000 -rounds 1 -seed 1 -q -top 3
 	$(GO) run ./cmd/lbicsim -trace-in testdata/adversarial/conflict-storm-bank-4.lbictrace \
 		-port bank-4 -json - \
 		| cmp - testdata/adversarial/conflict-storm-bank-4.report.json

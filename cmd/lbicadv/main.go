@@ -6,6 +6,7 @@
 //	lbicadv -port bank-4 -insts 60000                 # search, print ranking
 //	lbicadv -port bank-4 -insts 60000 -top 10
 //	lbicadv -port lbic-4x2 -objective ipc             # minimize IPC instead
+//	lbicadv -search-ports -insts 60000                # roam the whole port axis
 //	lbicadv -port bank-4 -out testdata/adversarial -name conflict-storm-bank-4
 //
 // With -out, the best candidate is minted as a regression artifact triple:
@@ -41,6 +42,7 @@ func main() {
 		outDir    = flag.String("out", "", "mint the best candidate into this directory (.lbictrace/.report.json/.meta.json)")
 		name      = flag.String("name", "", "artifact base name for -out (default adv-<port>)")
 		quiet     = flag.Bool("q", false, "suppress per-round progress")
+		roamPorts = flag.Bool("search-ports", false, "also mutate the port-organization axis (every registered kind); -port then only anchors the mutant broods")
 	)
 	flag.Parse()
 
@@ -60,6 +62,7 @@ func main() {
 		Seed:        *seed,
 		Parallel:    *parallel,
 		MinimizeIPC: *objective == "ipc",
+		SearchPorts: *roamPorts,
 	}
 	if *kinds != "" {
 		opt.Kinds = strings.Split(*kinds, ",")
@@ -82,10 +85,22 @@ func main() {
 	if n > len(ranking) {
 		n = len(ranking)
 	}
-	fmt.Printf("%-4s %-12s %-10s %-8s %s\n", "rank", "conflicts", "rate", "ipc", "params")
+	if *roamPorts {
+		fmt.Printf("%-4s %-12s %-10s %-8s %-14s %s\n", "rank", "conflicts", "rate", "ipc", "port", "params")
+	} else {
+		fmt.Printf("%-4s %-12s %-10s %-8s %s\n", "rank", "conflicts", "rate", "ipc", "params")
+	}
 	for i := 0; i < n; i++ {
 		c := ranking[i]
-		fmt.Printf("%-4d %-12d %-10.4f %-8.3f %s\n", i+1, c.Score.Conflicts, c.Score.ConflictRate, c.Score.IPC, c.Params.Key())
+		if *roamPorts {
+			pk := port.Key()
+			if c.Port != nil {
+				pk = c.Port.Key()
+			}
+			fmt.Printf("%-4d %-12d %-10.4f %-8.3f %-14s %s\n", i+1, c.Score.Conflicts, c.Score.ConflictRate, c.Score.IPC, pk, c.Params.Key())
+		} else {
+			fmt.Printf("%-4d %-12d %-10.4f %-8.3f %s\n", i+1, c.Score.Conflicts, c.Score.ConflictRate, c.Score.IPC, c.Params.Key())
+		}
 	}
 
 	if *outDir != "" {

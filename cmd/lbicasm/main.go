@@ -20,7 +20,7 @@ import (
 func main() {
 	var (
 		sim       = flag.Bool("sim", false, "run the timing simulation (default: functional only)")
-		portKind  = flag.String("port", "ideal", "port organization: ideal | repl | banked | lbic")
+		portKind  = flag.String("port", "ideal", "port organization: ideal | repl | banked | lbic, or any stable port name (bank-8, coded-4x2-spec, ...)")
 		width     = flag.Int("width", 1, "port count (ideal, repl)")
 		banks     = flag.Int("banks", 4, "bank count (banked, lbic)")
 		linePorts = flag.Int("lineports", 2, "per-bank line-buffer ports (lbic)")
@@ -78,7 +78,12 @@ func main() {
 	case "lbic":
 		port = lbic.LBICPort(*banks, *linePorts)
 	default:
-		fatal(fmt.Errorf("unknown port organization %q", *portKind))
+		// Any registered organization parses from its stable name.
+		p, err := lbic.ParsePortName(*portKind)
+		if err != nil {
+			fatal(fmt.Errorf("unknown port organization %q: %v", *portKind, err))
+		}
+		port = p
 	}
 	cfg := lbic.DefaultConfig()
 	cfg.Port = port

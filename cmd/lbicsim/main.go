@@ -37,10 +37,11 @@ func main() {
 		traceIn    = flag.String("trace-in", "", "replay a serialized lbic-trace-stream/v1 file instead of -bench (- for stdin); without an explicit -insts the whole trace runs")
 		traceDump  = flag.String("trace-dump", "", "record the selected workload for -insts instructions, write it as lbic-trace-stream/v1 to this file (- for stdout), and exit without simulating")
 		configPath = flag.String("config", "", "load the full simulation Config from this JSON file (flags set explicitly still override)")
-		portKind   = flag.String("port", "ideal", "port organization: ideal | repl | banked | banksq | mpb | lbic, or a full name like lbic-4x2")
+		portKind   = flag.String("port", "ideal", "port organization: ideal | repl | banked | banksq | mpb | lbic | coded, or a full name like lbic-4x2 or coded-4x1-spec")
 		width      = flag.Int("width", 1, "port count (ideal, repl, mpb ports per bank)")
-		banks      = flag.Int("banks", 4, "bank count (banked, banksq, mpb, lbic)")
+		banks      = flag.Int("banks", 4, "bank count (banked, banksq, mpb, lbic, coded)")
 		linePorts  = flag.Int("lineports", 2, "per-bank line-buffer ports (lbic)")
+		parity     = flag.Int("parity", 1, "XOR parity bank count (coded)")
 		insts      = flag.Uint64("insts", 1_000_000, "instructions to simulate")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this wall-clock time (0 = none)")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
@@ -85,7 +86,7 @@ func main() {
 		}
 	}
 	if *configPath == "" || set["port"] || set["width"] || set["banks"] || set["lineports"] {
-		cfg.Port = parsePort(*portKind, *width, *banks, *linePorts)
+		cfg.Port = parsePort(*portKind, *width, *banks, *linePorts, *parity)
 	}
 	if *configPath == "" || set["insts"] {
 		cfg.MaxInsts = *insts
@@ -286,9 +287,9 @@ func main() {
 }
 
 // parsePort resolves -port: a kind keyword combined with -width/-banks/
-// -lineports, or a full compact name like "lbic-4x2-greedy" (the
-// ParsePortName grammar).
-func parsePort(kind string, width, banks, linePorts int) lbic.PortConfig {
+// -lineports/-parity, or a full compact name like "lbic-4x2-greedy" or
+// "coded-4x1-spec" (the ParsePortName grammar).
+func parsePort(kind string, width, banks, linePorts, parity int) lbic.PortConfig {
 	switch strings.ToLower(kind) {
 	case "ideal", "true":
 		return lbic.IdealPort(width)
@@ -302,6 +303,8 @@ func parsePort(kind string, width, banks, linePorts int) lbic.PortConfig {
 		return lbic.MultiPortedBanksPort(banks, width)
 	case "lbic":
 		return lbic.LBICPort(banks, linePorts)
+	case "coded":
+		return lbic.CodedPort(banks, parity)
 	}
 	port, err := lbic.ParsePortName(kind)
 	if err != nil {

@@ -230,6 +230,14 @@ func main() {
 		}
 		render(experiments.Table4Table(d))
 	}
+	if *all {
+		note("coded banks vs. line buffers (60 simulations)")
+		t, err := experiments.CodedTable(sw)
+		if err != nil {
+			fatal(err)
+		}
+		render(t)
+	}
 	if *all || *workloads {
 		note("workload matrices (2 tables)")
 		for _, gen := range []func(*experiments.Sweep) (*stats.Table, error){

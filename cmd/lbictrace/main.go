@@ -18,7 +18,7 @@ import (
 func main() {
 	var (
 		bench     = flag.String("bench", "compress", "benchmark kernel")
-		portKind  = flag.String("port", "ideal", "ideal | repl | banked | lbic")
+		portKind  = flag.String("port", "ideal", "ideal | repl | banked | lbic, or any stable port name (bank-8, coded-4x2-spec, ...)")
 		width     = flag.Int("width", 1, "port count (ideal, repl)")
 		banks     = flag.Int("banks", 4, "bank count (banked, lbic)")
 		linePorts = flag.Int("lineports", 2, "line-buffer ports (lbic)")
@@ -41,7 +41,12 @@ func main() {
 	case "lbic":
 		port = lbic.LBICPort(*banks, *linePorts)
 	default:
-		fatal(fmt.Errorf("unknown port organization %q", *portKind))
+		// Any registered organization parses from its stable name.
+		p, err := lbic.ParsePortName(*portKind)
+		if err != nil {
+			fatal(fmt.Errorf("unknown port organization %q: %v", *portKind, err))
+		}
+		port = p
 	}
 
 	prog, err := lbic.BuildBenchmark(*bench)

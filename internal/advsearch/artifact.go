@@ -65,6 +65,11 @@ func LoadMeta(path string) (Meta, error) {
 // -trace-in` do — so the stored bytes are reproducible from the stored
 // stream alone.
 func Mint(dir, base string, port lbic.PortConfig, insts uint64, win Candidate, coords SearchCoords) (Meta, error) {
+	if win.Port != nil {
+		// A port-axis search records which organization the candidate beat;
+		// the artifact replays against that one, not the search anchor.
+		port = *win.Port
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return Meta{}, err
 	}

@@ -36,7 +36,19 @@ type Score struct {
 // Candidate is one scored parameter setting.
 type Candidate struct {
 	Params lbic.GenParams `json:"params"`
-	Score  Score          `json:"score"`
+	// Port is the organization the candidate was scored on when the search
+	// roams the port axis (Options.SearchPorts); nil means the fixed
+	// Options.Port.
+	Port  *lbic.PortConfig `json:"port,omitempty"`
+	Score Score            `json:"score"`
+}
+
+// key is the candidate's identity in the scored population.
+func (c Candidate) key() string {
+	if c.Port != nil {
+		return c.Params.Key() + "@" + c.Port.Key()
+	}
+	return c.Params.Key()
 }
 
 // Fitness is the scalar the search maximizes: the conflict rate, or -IPC
@@ -48,9 +60,10 @@ func (c Candidate) Fitness(minimizeIPC bool) float64 {
 	return c.Score.ConflictRate
 }
 
-// Evaluator scores one candidate. The default simulates the generator on
-// the target port; tests substitute cheap synthetic landscapes.
-type Evaluator func(ctx context.Context, p lbic.GenParams) (Score, error)
+// Evaluator scores one candidate on one port organization. The default
+// simulates the generator on the port; tests substitute cheap synthetic
+// landscapes.
+type Evaluator func(ctx context.Context, p lbic.GenParams, port lbic.PortConfig) (Score, error)
 
 // Options configures a search. The zero value of every field takes the
 // documented default.
@@ -78,6 +91,14 @@ type Options struct {
 	// MinimizeIPC switches the objective from maximizing the conflict rate
 	// to minimizing IPC.
 	MinimizeIPC bool
+	// SearchPorts extends the search space to the port-organization axis:
+	// mutation may hop a candidate onto another registered organization, so
+	// the search answers "which workload on which organization" instead of
+	// attacking one fixed port. Port then only anchors the mutant broods.
+	SearchPorts bool
+	// PortAxis is the organization axis for SearchPorts; empty selects
+	// lbic.PortAxis(), every registered kind's representatives.
+	PortAxis []lbic.PortConfig
 	// Evaluate overrides the simulation-backed evaluator (tests).
 	Evaluate Evaluator
 	// Log, when non-nil, receives one line per round.
@@ -111,9 +132,12 @@ func (opt *Options) fill() error {
 	if opt.Parallel == 0 {
 		opt.Parallel = 1
 	}
+	if opt.SearchPorts && len(opt.PortAxis) == 0 {
+		opt.PortAxis = lbic.PortAxis()
+	}
 	if opt.Evaluate == nil {
-		port, insts := opt.Port, opt.Insts
-		opt.Evaluate = func(ctx context.Context, p lbic.GenParams) (Score, error) {
+		insts := opt.Insts
+		opt.Evaluate = func(ctx context.Context, p lbic.GenParams, port lbic.PortConfig) (Score, error) {
 			cfg := lbic.DefaultConfig()
 			cfg.Port = port
 			cfg.MaxInsts = insts
@@ -150,44 +174,51 @@ func Search(ctx context.Context, opt Options) ([]Candidate, error) {
 	attempted := make(map[string]bool)
 
 	// Seed population: the catalog defaults of every searched kind, plus one
-	// brood of mutants each so round 0 already explores.
-	var pop []lbic.GenParams
+	// brood of mutants each so round 0 already explores. A port-axis search
+	// seeds every kind's defaults on every organization.
+	var pop []spec
 	for _, kind := range opt.Kinds {
 		base, err := lbic.DefaultGeneratorParams(kind)
 		if err != nil {
 			return nil, err
 		}
-		pop = append(pop, base)
+		if opt.SearchPorts {
+			for _, port := range opt.PortAxis {
+				pop = append(pop, spec{params: base, port: port})
+			}
+		} else {
+			pop = append(pop, spec{params: base, port: opt.Port})
+		}
 		for i := 0; i < opt.MutantsPerSurvivor; i++ {
-			pop = append(pop, mutate(&rng, base))
+			pop = append(pop, mutateSpec(&rng, &opt, spec{params: base, port: opt.Port}))
 		}
 	}
 
 	for round := 0; round <= opt.Rounds; round++ {
-		var fresh []lbic.GenParams
-		for _, p := range pop {
-			if k := p.Key(); !attempted[k] {
+		var fresh []spec
+		for _, s := range pop {
+			if k := s.key(opt.SearchPorts); !attempted[k] {
 				attempted[k] = true
-				fresh = append(fresh, p)
+				fresh = append(fresh, s)
 			}
 		}
 		if len(fresh) == 0 {
 			break
 		}
 		cells := make([]runner.Cell[Score], len(fresh))
-		for i, p := range fresh {
-			p := p
+		for i, s := range fresh {
+			s := s
 			cells[i] = runner.Cell[Score]{
-				Key: fmt.Sprintf("adv/%s/%s/i%d", p.Key(), opt.Port.Key(), opt.Insts),
-				Run: func(ctx context.Context) (Score, error) { return opt.Evaluate(ctx, p) },
+				Key: fmt.Sprintf("adv/%s/%s/i%d", s.params.Key(), s.port.Key(), opt.Insts),
+				Run: func(ctx context.Context) (Score, error) { return opt.Evaluate(ctx, s.params, s.port) },
 			}
 		}
 		out, err := runner.Run(ctx, cells, runner.Options{Jobs: opt.Parallel, KeepGoing: true})
 		for i, r := range out.Results {
 			if r.Err == nil {
-				scored[fresh[i].Key()] = Candidate{Params: fresh[i], Score: r.Value}
+				scored[fresh[i].key(opt.SearchPorts)] = fresh[i].candidate(opt.SearchPorts, r.Value)
 			} else {
-				opt.Log("advsearch: %s failed: %v", fresh[i].Key(), r.Err)
+				opt.Log("advsearch: %s failed: %v", fresh[i].key(opt.SearchPorts), r.Err)
 			}
 		}
 		if err != nil {
@@ -201,16 +232,47 @@ func Search(ctx context.Context, opt Options) ([]Candidate, error) {
 		if len(top) > 0 {
 			b := top[0]
 			opt.Log("round %d: %d evaluated, best %s fitness %.4f (rate %.4f, ipc %.3f)",
-				round, len(scored), b.Params.Key(), b.Fitness(opt.MinimizeIPC), b.Score.ConflictRate, b.Score.IPC)
+				round, len(scored), b.key(), b.Fitness(opt.MinimizeIPC), b.Score.ConflictRate, b.Score.IPC)
 		}
 		pop = pop[:0]
 		for _, c := range top {
+			parent := spec{params: c.Params, port: opt.Port}
+			if c.Port != nil {
+				parent.port = *c.Port
+			}
 			for i := 0; i < opt.MutantsPerSurvivor; i++ {
-				pop = append(pop, mutate(&rng, c.Params))
+				pop = append(pop, mutateSpec(&rng, &opt, parent))
 			}
 		}
 	}
 	return ranked(scored, opt.MinimizeIPC), nil
+}
+
+// spec is one point of the search space: a generator parameter setting and
+// the organization it is scored on (fixed at Options.Port unless the search
+// roams the port axis).
+type spec struct {
+	params lbic.GenParams
+	port   lbic.PortConfig
+}
+
+// key is the point's identity for dedup; the port only distinguishes points
+// when the search actually varies it.
+func (s spec) key(searchPorts bool) string {
+	if searchPorts {
+		return s.params.Key() + "@" + s.port.Key()
+	}
+	return s.params.Key()
+}
+
+// candidate converts the scored point to its public form.
+func (s spec) candidate(searchPorts bool, sc Score) Candidate {
+	c := Candidate{Params: s.params, Score: sc}
+	if searchPorts {
+		port := s.port
+		c.Port = &port
+	}
+	return c
 }
 
 // ranked sorts the scored population best-first, tie-breaking on the
@@ -225,9 +287,23 @@ func ranked(scored map[string]Candidate, minimizeIPC bool) []Candidate {
 		if fi != fj {
 			return fi > fj
 		}
-		return out[i].Params.Key() < out[j].Params.Key()
+		return out[i].key() < out[j].key()
 	})
 	return out
+}
+
+// mutateSpec perturbs one search point: usually its generator parameters
+// (see mutate), occasionally — when the search roams the port axis — hopping
+// the same workload onto another registered organization. The port-hop draw
+// is only taken under SearchPorts, so fixed-port searches consume the rng
+// stream exactly as before and stay reproducible against minted artifacts.
+func mutateSpec(rng *prng, opt *Options, s spec) spec {
+	if opt.SearchPorts && len(opt.PortAxis) > 1 && rng.n(4) == 0 {
+		s.port = opt.PortAxis[rng.n(len(opt.PortAxis))]
+		return s
+	}
+	s.params = mutate(rng, s.params)
+	return s
 }
 
 // mutate perturbs one or two fields of a resolved parameter set, snapping

@@ -12,7 +12,7 @@ import (
 // landscape is a cheap synthetic evaluator: fitness grows with mem_pct, so
 // the search should climb it without running any simulations.
 func landscape(calls *sync.Map) Evaluator {
-	return func(_ context.Context, p lbic.GenParams) (Score, error) {
+	return func(_ context.Context, p lbic.GenParams, _ lbic.PortConfig) (Score, error) {
 		rp, err := p.Resolve()
 		if err != nil {
 			return Score{}, err
@@ -100,7 +100,7 @@ func TestSearchSurvivesFailingCandidates(t *testing.T) {
 	n := 0
 	got, err := Search(context.Background(), Options{
 		Kinds: []string{"zipf"},
-		Evaluate: func(_ context.Context, p lbic.GenParams) (Score, error) {
+		Evaluate: func(_ context.Context, p lbic.GenParams, _ lbic.PortConfig) (Score, error) {
 			n++
 			if n%3 == 0 {
 				return Score{}, errors.New("synthetic failure")

@@ -374,6 +374,7 @@ func Ablations(sw *Sweep, progress func(string)) ([]*stats.Table, error) {
 		{"associativity", AblationAssociativity},
 		{"access patterns", PatternMatrix},
 		{"infinite banks", Figure3Banks},
+		{"coded conflict decomposition", AblationCodedConflicts},
 	}
 	var tables []*stats.Table
 	for _, s := range studies {

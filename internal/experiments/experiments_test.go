@@ -149,8 +149,8 @@ func TestAblationsSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 15 {
-		t.Fatalf("ablation tables = %d, want 15", len(tables))
+	if len(tables) != 16 {
+		t.Fatalf("ablation tables = %d, want 16", len(tables))
 	}
 	for _, tab := range tables {
 		if tab.Title == "" || len(tab.Headers) < 2 || len(tab.Rows) < 5 {

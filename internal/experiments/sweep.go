@@ -315,6 +315,43 @@ func (sw *Sweep) simCell(key, group string, build func() (*lbic.Program, error),
 	}}
 }
 
+// simBenchConflict is simBench reduced to the port conflict rate (stalled
+// requests per granted access). Distinct key namespace — the journaled value
+// differs — but the memo key matches the IPC cell's, so the same
+// (benchmark, port, budget) point appearing in an IPC table and a conflict
+// table is simulated once.
+func (sw *Sweep) simBenchConflict(name string, port lbic.PortConfig) runner.Cell[float64] {
+	insts := sw.Insts
+	key := fmt.Sprintf("sim/conf/%s/%s/i%d", name, port.Key(), insts)
+	memoKey := fmt.Sprintf("sim/%s/%s/i%d", name, port.Key(), insts)
+	group := fmt.Sprintf("bench/%s/i%d", name, insts)
+	build := func() (*lbic.Program, error) { return sw.benchProg(name) }
+	pick := func(r *lbic.Result) float64 { return r.PortConflictRate() }
+	sw.specs.put(key, simSpec{
+		group: group, insts: insts, port: port, build: build,
+		pick: pick, memoKey: memoKey,
+	})
+	return runner.Cell[float64]{Key: key, Labels: scalarLaneLabels, Run: func(ctx context.Context) (float64, error) {
+		if res, ok := sw.memo.get(memoKey); ok {
+			return pick(res), nil
+		}
+		prog, err := build()
+		if err != nil {
+			return 0, err
+		}
+		cfg := lbic.DefaultConfig()
+		cfg.Port = port
+		cfg.MaxInsts = insts
+		cfg.Trace = sw.traceCache()
+		res, err := lbic.SimulateContext(ctx, prog, cfg)
+		if err != nil {
+			return 0, err
+		}
+		sw.memo.put(memoKey, &res)
+		return pick(&res), nil
+	}}
+}
+
 func pickIPC(r *lbic.Result) float64 { return r.IPC }
 
 // scalarLaneLabels tag an unbatched simulation cell's profile samples.

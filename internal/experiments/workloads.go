@@ -9,20 +9,11 @@ import (
 	"lbic/internal/stats"
 )
 
-// workloadPorts is the port-organization axis of the workload tables: one
-// representative per family, matching the access-pattern matrix so the two
-// tables read side by side.
-func workloadPorts() []lbic.PortConfig {
-	return []lbic.PortConfig{
-		lbic.IdealPort(1),
-		lbic.IdealPort(4),
-		lbic.ReplicatedPort(4),
-		lbic.BankedPort(4),
-		bankedXor(4),
-		lbic.LBICPort(4, 2),
-		lbic.LBICPort(4, 4),
-	}
-}
+// workloadPorts is the port-organization axis of the workload tables: the
+// registry's representative configurations per family (so a newly registered
+// port kind joins these tables without edits here), matching the
+// access-pattern matrix so the two tables read side by side.
+func workloadPorts() []lbic.PortConfig { return lbic.PortAxis() }
 
 // simGen is one workload generator (at its catalog-default parameters)
 // under one port organization at the sweep budget. The cell key embeds the

@@ -380,6 +380,14 @@ func (q bsqQueues) banks() int                         { return q.a.Selector().B
 func (q bsqQueues) depth() int                         { return q.a.Depth() }
 func (q bsqQueues) lines(b int, dst []uint64) []uint64 { return q.a.StoreQueueLines(b, dst) }
 
+// codedQueues adapts the coded arbiter's per-group code-update queues (one
+// per parity bank) to the same FIFO monitor.
+type codedQueues struct{ a *ports.Coded }
+
+func (q codedQueues) banks() int                         { return q.a.Config().ParityBanks }
+func (q codedQueues) depth() int                         { return q.a.Depth() }
+func (q codedQueues) lines(b int, dst []uint64) []uint64 { return q.a.UpdateQueueLines(b, dst) }
+
 // queueMonitor snapshots every store queue each cycle and asserts FIFO
 // evolution: between consecutive cycles a queue either keeps its entries
 // (possibly appending at the back) or retires exactly its front entry.
@@ -399,6 +407,8 @@ func newQueueMonitor(arb ports.Arbiter) *queueMonitor {
 		src = lbicQueues{a}
 	case *ports.BankedSQ:
 		src = bsqQueues{a}
+	case *ports.Coded:
+		src = codedQueues{a}
 	default:
 		return nil
 	}

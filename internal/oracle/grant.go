@@ -22,6 +22,7 @@ type GrantValidator struct {
 	// Per-bank scratch for bank-organized arbiters.
 	used  []int
 	aux   []int
+	mark  []int
 	seen  []bool
 	lines []uint64
 	// expect is the recomputed grant set for deterministic arbiters.
@@ -40,6 +41,8 @@ func NewGrantValidator(arb ports.Arbiter) *GrantValidator {
 		v.grow(a.Selector().Banks())
 	case *core.LBIC:
 		v.grow(a.Config().Banks)
+	case *ports.Coded:
+		v.grow(a.Config().Banks)
 	}
 	return v
 }
@@ -47,6 +50,7 @@ func NewGrantValidator(arb ports.Arbiter) *GrantValidator {
 func (v *GrantValidator) grow(banks int) {
 	v.used = make([]int, banks)
 	v.aux = make([]int, banks)
+	v.mark = make([]int, banks)
 	v.seen = make([]bool, banks)
 	v.lines = make([]uint64, banks)
 }
@@ -90,6 +94,8 @@ func (v *GrantValidator) Validate(now uint64, ready []ports.Request, granted []i
 		return v.validateBankedSQ(now, a, ready, granted)
 	case *core.LBIC:
 		return v.validateLBIC(now, a, ready, granted)
+	case *ports.Coded:
+		return v.validateCoded(now, a, ready, granted)
 	}
 	return nil
 }
@@ -219,6 +225,93 @@ func (v *GrantValidator) validateLBIC(now uint64, a *core.LBIC, ready []ports.Re
 	}
 	if cfg.Policy == core.PolicyLeading {
 		return v.oldestPerBankGranted(now, sel, ready, granted)
+	}
+	return nil
+}
+
+// validateCoded checks the coded-banks structural rules: one leader grant
+// per data bank (stores must lead), later same-line loads only through the
+// composed line buffer within its port count, any other load into a busy
+// bank is a reconstruction — at most one per parity group, and in the
+// non-speculative design a reconstructing group's grants must all target the
+// reconstructed bank (the other members' ports are consumed by the code
+// read). Update queues stay within depth, and the oldest ready load of each
+// bank is always served unless a strict reconstruction consumed its port.
+func (v *GrantValidator) validateCoded(now uint64, a *ports.Coded, ready []ports.Request, granted []int) error {
+	cfg := a.Config()
+	sel := a.Selector()
+	for b := 0; b < cfg.Banks; b++ {
+		v.used[b] = 0
+	}
+	for g := 0; g < cfg.ParityBanks; g++ {
+		v.aux[g] = 0
+		v.mark[g] = -1
+	}
+	for _, gi := range granted {
+		r := ready[gi]
+		b := sel.BankOf(r.Addr)
+		grp := a.GroupOf(b)
+		line := sel.LineOf(r.Addr)
+		if v.used[b] == 0 {
+			// The leader takes the bank's port and opens its line.
+			v.used[b] = 1
+			v.lines[b] = line
+			continue
+		}
+		if r.Store {
+			return fmt.Errorf("cycle %d: %s granted a store (seq %d) into busy bank %d; stores cannot combine or reconstruct",
+				now, v.arb.Name(), r.Seq, b)
+		}
+		if cfg.LinePorts >= 2 && line == v.lines[b] && v.used[b] < cfg.LinePorts {
+			v.used[b]++ // same-line combine through the composed line buffer
+			continue
+		}
+		v.aux[grp]++
+		if v.aux[grp] > 1 {
+			return fmt.Errorf("cycle %d: %s reconstructed %d reads in group %d, the parity bank has one port",
+				now, v.arb.Name(), v.aux[grp], grp)
+		}
+		v.mark[grp] = b
+	}
+	if !cfg.Speculative {
+		for _, gi := range granted {
+			b := sel.BankOf(ready[gi].Addr)
+			grp := a.GroupOf(b)
+			if v.mark[grp] >= 0 && v.mark[grp] != b {
+				return fmt.Errorf("cycle %d: %s granted bank %d while reconstructing bank %d in group %d (the members' ports are consumed by the code read)",
+					now, v.arb.Name(), b, v.mark[grp], grp)
+			}
+		}
+	}
+	for g := 0; g < cfg.ParityBanks; g++ {
+		if q := a.UpdateQueueLen(g); q > a.Depth() {
+			return fmt.Errorf("cycle %d: %s group %d update queue holds %d lines, capacity %d",
+				now, v.arb.Name(), g, q, a.Depth())
+		}
+	}
+	gi := 0
+	for b := range v.seen {
+		v.seen[b] = false
+	}
+	for i := range ready {
+		b := sel.BankOf(ready[i].Addr)
+		hit := false
+		for ; gi < len(granted) && granted[gi] <= i; gi++ {
+			if granted[gi] == i {
+				hit = true
+			}
+		}
+		if v.seen[b] {
+			continue
+		}
+		v.seen[b] = true
+		if hit || ready[i].Store {
+			continue
+		}
+		if grp := a.GroupOf(b); cfg.Speculative || v.mark[grp] < 0 || v.mark[grp] == b {
+			return fmt.Errorf("cycle %d: %s did not grant seq %d, the oldest ready load of idle bank %d",
+				now, v.arb.Name(), ready[i].Seq, b)
+		}
 	}
 	return nil
 }

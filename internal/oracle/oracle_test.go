@@ -92,6 +92,15 @@ var organizations = []struct {
 	{"lbic-4x2-greedy", func(ls int) (ports.Arbiter, error) {
 		return core.New(core.Config{Banks: 4, LinePorts: 2, LineSize: ls, Policy: core.PolicyGreedy})
 	}},
+	{"coded-4x1", func(ls int) (ports.Arbiter, error) {
+		return ports.NewCoded(ports.CodedConfig{Banks: 4, ParityBanks: 1, LineSize: ls})
+	}},
+	{"coded-4x2-spec", func(ls int) (ports.Arbiter, error) {
+		return ports.NewCoded(ports.CodedConfig{Banks: 4, ParityBanks: 2, LineSize: ls, Speculative: true})
+	}},
+	{"coded-4x2-lb2", func(ls int) (ports.Arbiter, error) {
+		return ports.NewCoded(ports.CodedConfig{Banks: 4, ParityBanks: 2, LineSize: ls, LinePorts: 2})
+	}},
 }
 
 // TestDiffAllOrganizations differentially checks every port organization on

@@ -63,6 +63,9 @@ type (
 	Distribution = refstream.Distribution
 	// LBICStats reports combining activity of an LBIC run.
 	LBICStats = core.Stats
+	// CodedStats reports reconstruction and code-update activity of a
+	// coded-banks run.
+	CodedStats = ports.CodedStats
 	// VerifySummary reports what a verified run's invariant checker
 	// actually covered (see Config.Verify).
 	VerifySummary = oracle.Summary
@@ -123,30 +126,23 @@ const (
 	// Banks line-interleaved banks with Width true ports each — any Width
 	// requests per bank per cycle, at true multi-porting's cost per bank.
 	MultiPortedBanks
+	// Coded emulates a second read port with XOR parity banks (arXiv
+	// 2001.09599): Banks single-ported data banks in ParityBanks groups, each
+	// group backed by one parity bank storing the XOR of its members, so a
+	// second read of a busy bank is reconstructed from the other members plus
+	// parity instead of stalling. Stores pay a code-update cost queued on
+	// idle parity cycles; the Speculative variant issues a single parity read
+	// and replays on stale code (arXiv 2502.00147).
+	Coded
 )
 
-// String returns the organization name used in the paper's tables.
+// String returns the organization name used in the paper's tables,
+// registry-derived.
 func (k PortKind) String() string {
-	switch k {
-	case Ideal:
-		return "True"
-	case Replicated:
-		return "Repl"
-	case Banked:
-		return "Bank"
-	case LBIC:
-		return "LBIC"
-	case VirtualMultiport:
-		return "Virt"
-	case BankedStoreQueue:
-		return "BankSQ"
-	case MultiPortedBanks:
-		return "MPB"
-	case customPortKind:
-		return "Custom"
-	default:
-		return "port(?)"
+	if o, ok := portOrgFor(k); ok {
+		return o.display
 	}
+	return "port(?)"
 }
 
 // BankSelectorKind selects the bank selection function for Banked ports
@@ -182,9 +178,15 @@ type PortConfig struct {
 	Selector BankSelectorKind `json:"selector,omitempty"`
 	// Greedy selects the §5.2 largest-group line policy for LBIC.
 	Greedy bool `json:"greedy,omitempty"`
-	// StoreQueueDepth overrides the LBIC per-bank store queue depth
-	// (0 = default).
+	// StoreQueueDepth overrides the LBIC per-bank store queue depth, or the
+	// Coded per-group code-update queue depth (0 = default).
 	StoreQueueDepth int `json:"store_queue_depth,omitempty"`
+	// ParityBanks is the XOR parity bank count for Coded; the data banks
+	// split into this many contiguous groups.
+	ParityBanks int `json:"parity_banks,omitempty"`
+	// Speculative selects Coded's single-read reconstruction variant
+	// (speculative parity read, replay on stale code).
+	Speculative bool `json:"speculative,omitempty"`
 	// Label distinguishes custom arbiters from each other in names, journal
 	// cell keys, and the lbicd result cache (see CustomPort).
 	Label string `json:"label,omitempty"`
@@ -221,37 +223,21 @@ func MultiPortedBanksPort(banks, portsPerBank int) PortConfig {
 	return PortConfig{Kind: MultiPortedBanks, Banks: banks, Width: portsPerBank}
 }
 
-// Name returns a short identifier, e.g. "true-4", "lbic-4x2".
+// CodedPort returns a coded-banks configuration: banks single-ported data
+// banks in parityBanks XOR-coded groups (arXiv 2001.09599). Set LinePorts to
+// compose LBIC-style line buffers over the coded banks, and Speculative for
+// the single-read replay variant.
+func CodedPort(banks, parityBanks int) PortConfig {
+	return PortConfig{Kind: Coded, Banks: banks, ParityBanks: parityBanks}
+}
+
+// Name returns a short identifier, e.g. "true-4", "lbic-4x2", "coded-4x1".
+// The grammar is registry-derived.
 func (p PortConfig) Name() string {
-	switch p.Kind {
-	case Ideal:
-		return fmt.Sprintf("true-%d", p.Width)
-	case Replicated:
-		return fmt.Sprintf("repl-%d", p.Width)
-	case Banked:
-		if p.Selector != BitSelect {
-			return fmt.Sprintf("bank-%d-%s", p.Banks, p.Selector)
-		}
-		return fmt.Sprintf("bank-%d", p.Banks)
-	case LBIC:
-		if p.Greedy {
-			return fmt.Sprintf("lbic-%dx%d-greedy", p.Banks, p.LinePorts)
-		}
-		return fmt.Sprintf("lbic-%dx%d", p.Banks, p.LinePorts)
-	case VirtualMultiport:
-		return fmt.Sprintf("virt-%d", p.Width)
-	case BankedStoreQueue:
-		return fmt.Sprintf("banksq-%d", p.Banks)
-	case MultiPortedBanks:
-		return fmt.Sprintf("mpb-%dx%d", p.Banks, p.Width)
-	case customPortKind:
-		if p.Label != "" {
-			return "custom-" + p.Label
-		}
-		return "custom"
-	default:
-		return "port(?)"
+	if o, ok := portOrgFor(p.Kind); ok {
+		return o.name(p)
 	}
+	return "port(?)"
 }
 
 // Key returns the port's full configuration identity: Name plus the
@@ -320,6 +306,9 @@ type Result struct {
 	LBIC *LBICStats
 	// BankConflicts carries conflict counts for Banked runs.
 	BankConflicts uint64
+	// Coded carries reconstruction and code-update statistics for Coded
+	// runs, nil otherwise.
+	Coded *CodedStats
 	// Metrics holds the run's histograms and gauges (CPI stall stack,
 	// per-bank access/conflict counts, grants per cycle, occupancies).
 	Metrics *MetricsRegistry
@@ -368,41 +357,14 @@ func BuildBenchmark(name string) (*Program, error) {
 	return in.Build(), nil
 }
 
-// buildArbiter constructs the port model for a configuration.
+// buildArbiter constructs the port model for a configuration,
+// registry-derived.
 func buildArbiter(p PortConfig, lineSize int) (ports.Arbiter, error) {
-	switch p.Kind {
-	case Ideal:
-		return ports.NewIdeal(p.Width)
-	case Replicated:
-		return ports.NewReplicated(p.Width)
-	case Banked:
-		return ports.NewBankedSelector(p.Banks, lineSize, p.Selector)
-	case VirtualMultiport:
-		return ports.NewVirtual(p.Width)
-	case BankedStoreQueue:
-		return ports.NewBankedSQ(p.Banks, lineSize, p.StoreQueueDepth)
-	case MultiPortedBanks:
-		return ports.NewMultiPortedBanks(p.Banks, p.Width, lineSize)
-	case customPortKind:
-		if p.custom == nil {
-			return nil, fmt.Errorf("lbic: custom port without a factory")
-		}
-		return p.custom(lineSize)
-	case LBIC:
-		policy := core.PolicyLeading
-		if p.Greedy {
-			policy = core.PolicyGreedy
-		}
-		return core.New(core.Config{
-			Banks:           p.Banks,
-			LinePorts:       p.LinePorts,
-			LineSize:        lineSize,
-			StoreQueueDepth: p.StoreQueueDepth,
-			Policy:          policy,
-		})
-	default:
+	o, ok := portOrgFor(p.Kind)
+	if !ok {
 		return nil, fmt.Errorf("lbic: unknown port kind %d", p.Kind)
 	}
+	return o.build(p, lineSize)
 }
 
 // sim bundles one run's wired-up components, shared by Simulate and
@@ -517,12 +479,8 @@ func (s *sim) result(name string, cfg Config, st cpu.Stats) Result {
 		Mem:       s.hier.Stats(),
 		Metrics:   buildMetricsRegistry(s.core, s.hier, s.arb, st),
 	}
-	switch a := s.arb.(type) {
-	case *core.LBIC:
-		ls := a.Stats()
-		res.LBIC = &ls
-	case *ports.Banked:
-		res.BankConflicts = a.Conflicts
+	if o, ok := portOrgFor(cfg.Port.Kind); ok && o.collect != nil {
+		o.collect(s.arb, &res)
 	}
 	if s.check != nil {
 		sum := s.check.Summary()
@@ -660,13 +618,6 @@ func Characterize(ctx context.Context, prog *Program, opts CharacterizeOptions) 
 	return workload.CharacterizeStream(prog.Name, s, opts.Insts, geom)
 }
 
-// CharacterizeWith is Characterize against an arbitrary L1 geometry.
-//
-// Deprecated: use Characterize with CharacterizeOptions{Insts, Geom}.
-func CharacterizeWith(prog *Program, maxInsts uint64, geom Geometry) (BenchmarkStats, error) {
-	return Characterize(context.Background(), prog, CharacterizeOptions{Insts: maxInsts, Geom: geom})
-}
-
 // streamFor sources prog's dynamic stream from tc when a cache and a finite
 // budget are available, from a fresh emulator otherwise.
 func streamFor(ctx context.Context, tc *TraceCache, prog *Program, insts uint64) (trace.Stream, error) {
@@ -674,23 +625,6 @@ func streamFor(ctx context.Context, tc *TraceCache, prog *Program, insts uint64)
 		return tc.Stream(ctx, prog, insts)
 	}
 	return emu.New(prog)
-}
-
-// CharacterizeVia is Characterize sourcing the dynamic stream from tc
-// (nil tc = live emulator).
-//
-// Deprecated: use Characterize with CharacterizeOptions{Insts, Geom, Trace}.
-func CharacterizeVia(ctx context.Context, tc *TraceCache, prog *Program, maxInsts uint64, geom Geometry) (BenchmarkStats, error) {
-	return Characterize(ctx, prog, CharacterizeOptions{Insts: maxInsts, Geom: geom, Trace: tc})
-}
-
-// AnalyzeRefStreamVia is AnalyzeRefStream sourcing the dynamic stream from
-// tc (nil tc = live emulator).
-//
-// Deprecated: use AnalyzeRefStream with RefStreamOptions{Banks, LineSize,
-// Insts, Trace}.
-func AnalyzeRefStreamVia(ctx context.Context, tc *TraceCache, prog *Program, banks, lineSize int, maxInsts uint64) (Distribution, error) {
-	return AnalyzeRefStream(ctx, prog, RefStreamOptions{Banks: banks, LineSize: lineSize, Insts: maxInsts, Trace: tc})
 }
 
 // DefaultCPUConfig returns the paper's Table 1 processor baseline, for

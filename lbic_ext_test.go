@@ -1,6 +1,7 @@
 package lbic_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -138,11 +139,14 @@ func TestCharacterizeWithFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	small, err := lbic.CharacterizeWith(prog, 80_000, lbic.Geometry{Size: 8 << 10, LineSize: 32, Assoc: 1})
+	ctx := context.Background()
+	small, err := lbic.Characterize(ctx, prog, lbic.CharacterizeOptions{
+		Insts: 80_000, Geom: lbic.Geometry{Size: 8 << 10, LineSize: 32, Assoc: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	big, err := lbic.CharacterizeWith(prog, 80_000, lbic.Geometry{Size: 128 << 10, LineSize: 32, Assoc: 1})
+	big, err := lbic.Characterize(ctx, prog, lbic.CharacterizeOptions{
+		Insts: 80_000, Geom: lbic.Geometry{Size: 128 << 10, LineSize: 32, Assoc: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,6 +56,9 @@ type ReportPort struct {
 	LinePorts int    `json:"line_ports,omitempty"`
 	Selector  string `json:"selector,omitempty"`
 	Greedy    bool   `json:"greedy,omitempty"`
+	// ParityBanks and Speculative describe Coded runs.
+	ParityBanks int  `json:"parity_banks,omitempty"`
+	Speculative bool `json:"speculative,omitempty"`
 	// Label distinguishes custom arbiters (see CustomPort).
 	Label string `json:"label,omitempty"`
 }
@@ -86,50 +89,29 @@ type Report struct {
 	// LBIC carries combining statistics for LBIC runs.
 	LBIC *LBICStats `json:"lbic,omitempty"`
 	// BankConflicts carries the aggregate conflict count for Banked runs.
-	BankConflicts uint64          `json:"bank_conflicts,omitempty"`
-	Metrics       MetricsSnapshot `json:"metrics"`
+	BankConflicts uint64 `json:"bank_conflicts,omitempty"`
+	// Coded carries reconstruction and code-update statistics for Coded runs.
+	Coded   *CodedStats     `json:"coded,omitempty"`
+	Metrics MetricsSnapshot `json:"metrics"`
 	// TraceCache carries the shared trace cache's counters for runs that
 	// replayed a recorded trace (see Config.Trace).
 	TraceCache *TraceCacheStats `json:"trace_cache,omitempty"`
 }
 
-// PeakWidth returns the organization's maximum accesses per cycle.
+// PeakWidth returns the organization's maximum accesses per cycle,
+// registry-derived.
 func (p PortConfig) PeakWidth() int {
-	switch p.Kind {
-	case Ideal, Replicated, VirtualMultiport:
-		return p.Width
-	case Banked:
-		return p.Banks
-	case BankedStoreQueue:
-		// One array access plus one store-queue acceptance per bank.
-		return 2 * p.Banks
-	case LBIC:
-		return p.Banks * p.LinePorts
-	case MultiPortedBanks:
-		return p.Banks * p.Width
-	default:
-		return 0
+	if o, ok := portOrgFor(p.Kind); ok {
+		return o.peak(p)
 	}
+	return 0
 }
 
-// reportPort flattens a PortConfig for the report.
+// reportPort flattens a PortConfig for the report, registry-derived.
 func reportPort(p PortConfig) ReportPort {
 	rp := ReportPort{Name: p.Name(), Kind: p.Kind.String(), PeakWidth: p.PeakWidth()}
-	switch p.Kind {
-	case Ideal, Replicated, VirtualMultiport:
-		rp.Width = p.Width
-	case Banked, BankedStoreQueue:
-		rp.Banks = p.Banks
-		rp.Selector = p.Selector.String()
-	case LBIC:
-		rp.Banks = p.Banks
-		rp.LinePorts = p.LinePorts
-		rp.Greedy = p.Greedy
-	case MultiPortedBanks:
-		rp.Banks = p.Banks
-		rp.Width = p.Width
-	case customPortKind:
-		rp.Label = p.Label
+	if o, ok := portOrgFor(p.Kind); ok && o.report != nil {
+		o.report(p, &rp)
 	}
 	return rp
 }
@@ -159,6 +141,7 @@ func NewReport(res Result) Report {
 		Mem:           res.Mem,
 		LBIC:          res.LBIC,
 		BankConflicts: res.BankConflicts,
+		Coded:         res.Coded,
 		TraceCache:    res.TraceCache,
 	}
 	if res.Metrics != nil {
@@ -225,6 +208,18 @@ func buildMetricsRegistry(c *cpu.Core, hier *cache.Hierarchy, arb ports.Arbiter,
 		for w, n := range widths {
 			h.ObserveN(w, n)
 		}
+	}
+	if cd, ok := arb.(*ports.Coded); ok {
+		cs := cd.Stats()
+		h := reg.Histogram("coded.activity",
+			"coded-banks events: reconstructed reads, retired code updates, update stalls, stale-code squashes, combined accesses",
+			"", 5)
+		h.BucketNames = []string{"reconstructions", "code_updates", "update_stalls", "stale_code", "combined"}
+		h.ObserveN(0, cs.Reconstructions)
+		h.ObserveN(1, cs.CodeUpdates)
+		h.ObserveN(2, cs.UpdateStalls)
+		h.ObserveN(3, cs.StaleCode+cs.Replays)
+		h.ObserveN(4, cs.Combined)
 	}
 	return reg
 }

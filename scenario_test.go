@@ -17,6 +17,14 @@ type fig4cCase struct {
 	want int
 }
 
+// codedVariant builds a coded-banks configuration with the optional knobs set.
+func codedVariant(banks, parity, linePorts int, spec bool) PortConfig {
+	p := CodedPort(banks, parity)
+	p.LinePorts = linePorts
+	p.Speculative = spec
+	return p
+}
+
 func runScenarioTable(t *testing.T, refs []Ref, cases []fig4cCase) {
 	t.Helper()
 	for _, c := range cases {
@@ -48,8 +56,12 @@ func TestScenarioSameLineBurst(t *testing.T) {
 		{BankedPort(4), 4},
 		{BankedSQPort(4), 4}, // store queues do not help loads
 		{MultiPortedBanksPort(2, 2), 2},
-		{LBICPort(2, 2), 2}, // combining width 2 halves the burst
-		{LBICPort(2, 4), 1}, // width 4 swallows it whole
+		{LBICPort(2, 2), 2},               // combining width 2 halves the burst
+		{LBICPort(2, 4), 1},               // width 4 swallows it whole
+		{CodedPort(4, 1), 2},              // leader plus one reconstruction per cycle
+		{codedVariant(4, 1, 0, true), 2},  // speculative: still one parity port
+		{codedVariant(4, 1, 2, false), 2}, // combine a pair, reconstruct the third
+		{codedVariant(4, 1, 4, false), 1}, // composed line buffer swallows the burst
 	})
 }
 
@@ -68,6 +80,10 @@ func TestScenarioCrossBankSpread(t *testing.T) {
 		{MultiPortedBanksPort(2, 2), 1},
 		{LBICPort(2, 2), 2}, // different lines in one bank: no combining
 		{LBICPort(4, 2), 1},
+		{CodedPort(4, 1), 1},
+		{CodedPort(2, 1), 2},             // strict: the other group member is busy
+		{codedVariant(2, 1, 0, true), 2}, // speculative: one parity port serves one extra
+		{CodedPort(2, 2), 1},             // groups of one: each parity bank is a mirror
 	})
 }
 
@@ -94,6 +110,32 @@ func TestScenarioStoreBlocked(t *testing.T) {
 		{MultiPortedBanksPort(2, 2), 1},
 		{LBICPort(2, 2), 1},
 		{LBICPort(4, 2), 1},
+		{CodedPort(4, 1), 2},              // the trailing store coalesces its update line
+		{codedVariant(4, 1, 2, false), 2}, // combining absorbs the loads; stores still serialize
+	})
+}
+
+// TestScenarioCodedStaleWrite: a store to bank 0 alongside two loads to one
+// line of bank 2. This is the coded design's write cost made visible: the
+// store queues a code update, and while it is pending the group's code is
+// stale, so a single-group design degrades to banked behaviour (the
+// speculative variant replays instead of stalling, same cycle count). With
+// two parity groups the store's update stays in group 0 and group 1's
+// current code reconstructs the second load in the first cycle.
+func TestScenarioCodedStaleWrite(t *testing.T) {
+	refs := []Ref{
+		{Addr: 0, Store: true}, // bank 0: queues a code update on its group
+		{Addr: 64},             // bank 2
+		{Addr: 72},             // bank 2, same line
+	}
+	runScenarioTable(t, refs, []fig4cCase{
+		{IdealPort(4), 1},
+		{BankedPort(4), 2},
+		{LBICPort(4, 2), 1},              // the same-line loads combine
+		{CodedPort(4, 1), 2},             // one group: stale code blocks reconstruction
+		{codedVariant(4, 1, 0, true), 2}, // speculative parity read replays on stale code
+		{CodedPort(4, 2), 1},             // write traffic isolated to group 0
+		{codedVariant(4, 2, 0, true), 1},
 	})
 }
 

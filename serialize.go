@@ -4,81 +4,68 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-
-	"lbic/internal/ports"
 )
 
 // This file is the one serialization the CLI (`lbicsim -config`), the lbicd
 // service schema (`lbic-sim-request/v1`), and sweep journals share:
 // PortKind and BankSelectorKind marshal as their canonical name tokens,
 // PortConfig/Config carry JSON tags and Validate methods, and ParsePortName
-// inverts PortConfig.Key for the compact one-line form.
-
-// portKindNames maps each kind to its canonical serialization token (the
-// prefix of PortConfig.Name).
-var portKindNames = map[PortKind]string{
-	Ideal:            "true",
-	Replicated:       "repl",
-	Banked:           "bank",
-	LBIC:             "lbic",
-	VirtualMultiport: "virt",
-	BankedStoreQueue: "banksq",
-	MultiPortedBanks: "mpb",
-}
+// inverts PortConfig.Key for the compact one-line form. Every per-kind rule
+// here — token, grammar, validation — comes from the port-organization
+// registry (registry.go); this file only owns the kind-independent framing
+// (the "-sqD" store-queue suffix and the common depth check).
 
 // MarshalText encodes the kind as its canonical name token ("true", "repl",
-// "bank", "lbic", "virt", "banksq", "mpb"). Custom kinds fail: a custom
-// port's factory is a function and cannot cross a serialization boundary.
+// "bank", "lbic", "virt", "banksq", "mpb", "coded"). Custom kinds fail: a
+// custom port's factory is a function and cannot cross a serialization
+// boundary.
 func (k PortKind) MarshalText() ([]byte, error) {
-	if name, ok := portKindNames[k]; ok {
-		return []byte(name), nil
+	o, ok := portOrgFor(k)
+	if !ok {
+		return nil, fmt.Errorf("lbic: unknown port kind %d", int(k))
 	}
-	if k == customPortKind {
+	if !o.wire {
 		return nil, fmt.Errorf("lbic: custom ports do not serialize (the arbiter factory is a function)")
 	}
-	return nil, fmt.Errorf("lbic: unknown port kind %d", int(k))
+	return []byte(o.token), nil
 }
 
 // UnmarshalText is the inverse of MarshalText; "ideal" is accepted as an
 // alias for "true".
 func (k *PortKind) UnmarshalText(text []byte) error {
 	name := string(text)
-	if name == "ideal" {
-		*k = Ideal
+	if o, ok := portOrgByToken(name); ok {
+		if !o.wire {
+			return fmt.Errorf("lbic: custom ports do not deserialize (the arbiter factory is a function)")
+		}
+		*k = o.kind
 		return nil
 	}
-	for kind, n := range portKindNames {
-		if n == name {
-			*k = kind
-			return nil
-		}
-	}
-	if name == "custom" {
-		return fmt.Errorf("lbic: custom ports do not deserialize (the arbiter factory is a function)")
-	}
-	return fmt.Errorf("lbic: unknown port kind %q (have true, repl, bank, lbic, virt, banksq, mpb)", name)
+	return fmt.Errorf("lbic: unknown port kind %q (have %s)", name, strings.Join(portTokens(), ", "))
 }
 
 // ParsePortName parses the compact one-line port serialization produced by
 // PortConfig.Key (and therefore also the Name form, which omits the
 // store-queue suffix): "true-4", "repl-2", "bank-8", "bank-8-xor-fold",
 // "banksq-8", "banksq-8-sq4", "lbic-4x2", "lbic-4x2-greedy", "virt-2",
-// "mpb-2x2", with an optional trailing "-sqD" store-queue depth override.
-// "ideal-N" is accepted as an alias for "true-N". Custom port names are not
-// parseable — the factory cannot be reconstructed from a string.
+// "mpb-2x2", "coded-4x1", "coded-4x2-lb2", "coded-4x1-spec", with an
+// optional trailing "-sqD" store-queue depth override. "ideal-N" is accepted
+// as an alias for "true-N". The per-kind grammar is registry-derived; custom
+// port names are not parseable — the factory cannot be reconstructed from a
+// string.
 func ParsePortName(name string) (PortConfig, error) {
 	orig := name
 	fail := func() (PortConfig, error) {
-		return PortConfig{}, fmt.Errorf("lbic: cannot parse port name %q (want e.g. true-4, repl-2, bank-8[-xor-fold], lbic-4x2[-greedy], virt-2, banksq-8, mpb-2x2, optionally -sqD)", orig)
+		return PortConfig{}, fmt.Errorf("lbic: cannot parse port name %q (want e.g. true-4, repl-2, bank-8[-xor-fold], lbic-4x2[-greedy], virt-2, banksq-8, mpb-2x2, coded-4x1[-lbN][-spec], optionally -sqD)", orig)
 	}
 
-	var p PortConfig
 	// Peel a trailing "-sqD" store-queue depth override. The only kind token
 	// containing "sq" is "banksq", whose Key never has a bare "-sq" substring
 	// ("banksq-8" — the "sq" is not preceded by '-'), so this is unambiguous.
+	var depth int
 	if i := strings.LastIndex(name, "-sq"); i >= 0 {
 		if d, err := strconv.Atoi(name[i+3:]); err == nil && d > 0 {
-			p.StoreQueueDepth = d
+			depth = d
 			name = name[:i]
 		}
 	}
@@ -87,74 +74,15 @@ func ParsePortName(name string) (PortConfig, error) {
 	if !ok {
 		return fail()
 	}
-	if kindTok == "ideal" {
-		kindTok = "true"
-	}
-	if err := p.Kind.UnmarshalText([]byte(kindTok)); err != nil {
+	o, ok := portOrgByToken(kindTok)
+	if !ok || o.parse == nil {
 		return fail()
 	}
-
-	switch p.Kind {
-	case Ideal, Replicated, VirtualMultiport:
-		w, err := strconv.Atoi(rest)
-		if err != nil {
-			return fail()
-		}
-		p.Width = w
-	case Banked:
-		// "8" or "8-xor-fold".
-		numTok, selTok, hasSel := strings.Cut(rest, "-")
-		b, err := strconv.Atoi(numTok)
-		if err != nil {
-			return fail()
-		}
-		p.Banks = b
-		if hasSel {
-			sel, err := ports.ParseSelectorKind(selTok)
-			if err != nil {
-				return fail()
-			}
-			p.Selector = sel
-		}
-	case BankedStoreQueue:
-		b, err := strconv.Atoi(rest)
-		if err != nil {
-			return fail()
-		}
-		p.Banks = b
-	case LBIC:
-		// "MxN" or "MxN-greedy".
-		dims, greedyTok, hasGreedy := strings.Cut(rest, "-")
-		if hasGreedy {
-			if greedyTok != "greedy" {
-				return fail()
-			}
-			p.Greedy = true
-		}
-		mTok, nTok, ok := strings.Cut(dims, "x")
-		if !ok {
-			return fail()
-		}
-		m, err1 := strconv.Atoi(mTok)
-		n, err2 := strconv.Atoi(nTok)
-		if err1 != nil || err2 != nil {
-			return fail()
-		}
-		p.Banks, p.LinePorts = m, n
-	case MultiPortedBanks:
-		mTok, wTok, ok := strings.Cut(rest, "x")
-		if !ok {
-			return fail()
-		}
-		m, err1 := strconv.Atoi(mTok)
-		w, err2 := strconv.Atoi(wTok)
-		if err1 != nil || err2 != nil {
-			return fail()
-		}
-		p.Banks, p.Width = m, w
-	default:
+	p, ok := o.parse(rest)
+	if !ok {
 		return fail()
 	}
+	p.StoreQueueDepth = depth
 	if err := p.Validate(); err != nil {
 		return PortConfig{}, fmt.Errorf("lbic: port name %q: %w", orig, err)
 	}
@@ -165,43 +93,18 @@ func ParsePortName(name string) (PortConfig, error) {
 func powerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
 
 // Validate checks the configuration's parameters against its kind's
-// structural rules, mirroring what the arbiter constructors enforce at
-// build time so a bad config fails fast at the serialization boundary.
+// structural rules (registry-derived), mirroring what the arbiter
+// constructors enforce at build time so a bad config fails fast at the
+// serialization boundary.
 func (p PortConfig) Validate() error {
 	if p.StoreQueueDepth < 0 {
 		return fmt.Errorf("lbic: store queue depth %d is negative", p.StoreQueueDepth)
 	}
-	switch p.Kind {
-	case Ideal, Replicated, VirtualMultiport:
-		if p.Width < 1 {
-			return fmt.Errorf("lbic: %s port width %d < 1", p.Kind, p.Width)
-		}
-	case Banked, BankedStoreQueue:
-		if !powerOfTwo(p.Banks) {
-			return fmt.Errorf("lbic: %s bank count %d is not a positive power of two", p.Kind, p.Banks)
-		}
-	case LBIC:
-		if !powerOfTwo(p.Banks) {
-			return fmt.Errorf("lbic: LBIC bank count %d is not a positive power of two", p.Banks)
-		}
-		if p.LinePorts < 1 {
-			return fmt.Errorf("lbic: LBIC line ports %d < 1", p.LinePorts)
-		}
-	case MultiPortedBanks:
-		if !powerOfTwo(p.Banks) {
-			return fmt.Errorf("lbic: MPB bank count %d is not a positive power of two", p.Banks)
-		}
-		if p.Width < 1 {
-			return fmt.Errorf("lbic: MPB ports per bank %d < 1", p.Width)
-		}
-	case customPortKind:
-		if p.custom == nil {
-			return fmt.Errorf("lbic: custom port without a factory")
-		}
-	default:
+	o, ok := portOrgFor(p.Kind)
+	if !ok {
 		return fmt.Errorf("lbic: unknown port kind %d", int(p.Kind))
 	}
-	return nil
+	return o.validate(p)
 }
 
 // Validate checks the full simulation configuration: the port organization

@@ -22,6 +22,13 @@ func roundTripPorts() []lbic.PortConfig {
 	lbicSQ.StoreQueueDepth = 4
 	banksqDeep := lbic.BankedSQPort(8)
 	banksqDeep.StoreQueueDepth = 6
+	codedSpec := lbic.CodedPort(4, 1)
+	codedSpec.Speculative = true
+	codedComposed := lbic.CodedPort(8, 2)
+	codedComposed.LinePorts = 2
+	codedComposed.Speculative = true
+	codedSQ := lbic.CodedPort(4, 2)
+	codedSQ.StoreQueueDepth = 4
 	return []lbic.PortConfig{
 		lbic.IdealPort(1),
 		lbic.IdealPort(4),
@@ -36,6 +43,10 @@ func roundTripPorts() []lbic.PortConfig {
 		greedy,
 		lbicSQ,
 		lbic.MultiPortedBanksPort(2, 2),
+		lbic.CodedPort(4, 1),
+		codedSpec,
+		codedComposed,
+		codedSQ,
 	}
 }
 
@@ -78,9 +89,15 @@ func TestParsePortNameErrors(t *testing.T) {
 	for _, name := range []string{
 		"", "bogus", "true", "true-x", "lbic-4", "lbic-4x", "mpb-2",
 		"bank-8-mystery", "custom", "custom-foo", "lbic-4x2-sneaky",
-		"bank-3",  // not a power of two: Validate rejects it
-		"true-0",  // width must be >= 1
-		"true--1", // negative width
+		"bank-3",             // not a power of two: Validate rejects it
+		"true-0",             // width must be >= 1
+		"true--1",            // negative width
+		"coded-4",            // missing parity dimension
+		"coded-3x1",          // banks not a power of two
+		"coded-4x0",          // parity banks must be >= 1
+		"coded-4x3",          // parity banks must divide banks
+		"coded-4x1-lb1",      // a 1-port line buffer is no line buffer
+		"coded-4x1-spec-lb2", // suffixes out of canonical order
 	} {
 		if p, err := lbic.ParsePortName(name); err == nil {
 			t.Errorf("ParsePortName(%q) = %+v, want error", name, p)
